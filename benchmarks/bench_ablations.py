@@ -1,0 +1,151 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+Not figures from the paper — these quantify the knobs the paper fixes:
+
+- time-slice length (the paper uses 500 us everywhere),
+- buffered vs strict blocking-send completion (the B in BCS),
+- gang scheduling as the multiprogramming remedy of §5.4,
+- OS noise: coordinated vs uncoordinated daemons (§1 / [20]).
+"""
+
+import pytest
+
+from repro.apps import barrier_benchmark, sweep3d_blocking
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.harness import run_workload
+from repro.harness.experiments import (
+    ablation_buffered_sends,
+    ablation_kernel_level,
+    ablation_timeslice,
+)
+from repro.harness.report import print_table
+from repro.mpi.baseline import BaselineConfig
+from repro.network import Cluster, ClusterSpec
+from repro.noise import NoiseConfig
+from repro.storm import GangScheduler, JobSpec
+from repro.units import ms
+
+
+def test_ablation_timeslice(benchmark):
+    rows = benchmark.pedantic(ablation_timeslice, rounds=1, iterations=1)
+    print_table(
+        "Ablation: blocking wavefront vs time-slice length (16 ranks)",
+        ["timeslice (us)", "baseline (s)", "BCS (s)", "slowdown %"],
+        [
+            [r["timeslice_us"], f"{r['baseline_s']:.3f}", f"{r['bcs_s']:.3f}", f"{r['slowdown_pct']:.1f}"]
+            for r in rows
+        ],
+    )
+    # Blocking penalty grows with the slice length (quantization cost).
+    slowdowns = [r["slowdown_pct"] for r in rows]
+    assert slowdowns[-1] > slowdowns[0]
+
+
+def test_ablation_buffered_sends(benchmark):
+    rows = benchmark.pedantic(ablation_buffered_sends, rounds=1, iterations=1)
+    print_table(
+        "Ablation: buffered vs strict blocking sends (the B in BCS)",
+        ["buffered", "baseline (s)", "BCS (s)", "slowdown %"],
+        [
+            [r["buffered_sends"], f"{r['baseline_s']:.3f}", f"{r['bcs_s']:.3f}", f"{r['slowdown_pct']:.1f}"]
+            for r in rows
+        ],
+    )
+    buffered = next(r for r in rows if r["buffered_sends"])
+    strict = next(r for r in rows if not r["buffered_sends"])
+    # Buffering the sends removes a large share of the blocking penalty.
+    assert buffered["slowdown_pct"] < strict["slowdown_pct"] - 10.0
+
+
+def test_ablation_kernel_level_bcs(benchmark):
+    rows = benchmark.pedantic(ablation_kernel_level, rounds=1, iterations=1)
+    print_table(
+        "Ablation: user-level vs kernel-level BCS (barrier @10 ms, 62 ranks)",
+        ["implementation", "baseline (s)", "BCS (s)", "slowdown %"],
+        [
+            [r["implementation"], f"{r['baseline_s']:.3f}", f"{r['bcs_s']:.3f}", f"{r['slowdown_pct']:.2f}"]
+            for r in rows
+        ],
+    )
+    user = next(r for r in rows if r["implementation"] == "user-level")
+    kernel = next(r for r in rows if r["implementation"] == "kernel-level")
+    # Moving the NM into the kernel removes the scheduling tax (§4.5).
+    assert kernel["slowdown_pct"] < user["slowdown_pct"]
+
+
+def _gang_runs():
+    params = dict(octants=2, kblocks=4)
+
+    def run(n_jobs, gang):
+        cluster = Cluster(ClusterSpec(n_nodes=8))
+        runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+        scheduler = GangScheduler(runtime) if gang else None
+        jobs = []
+        for i in range(n_jobs):
+            job = runtime.launch(
+                JobSpec(app=sweep3d_blocking, n_ranks=16, name=f"j{i}", params=params)
+            )
+            if scheduler:
+                scheduler.add_job(job)
+            jobs.append(job)
+        cluster.env.run(until=cluster.env.all_of([j.done for j in jobs]))
+        return cluster.env.now
+
+    one = run(1, False)
+    two_gang = run(2, True)
+    return one, two_gang
+
+
+def test_ablation_gang_scheduling(benchmark):
+    one, two_gang = benchmark.pedantic(_gang_runs, rounds=1, iterations=1)
+    print_table(
+        "Ablation: gang scheduling two blocking-heavy jobs (MPL=2)",
+        ["configuration", "makespan (s)"],
+        [
+            ["1 job", f"{one / 1e9:.3f}"],
+            ["2 jobs gang-scheduled", f"{two_gang / 1e9:.3f}"],
+            ["2 jobs back-to-back", f"{2 * one / 1e9:.3f}"],
+        ],
+    )
+    # Coscheduling reclaims blocked-CPU time: well under 2x one job.
+    assert two_gang < 1.85 * one
+
+
+def _noise_runs():
+    params = dict(granularity=ms(2), iterations=30, jitter=0.0)
+
+    def run(coordinated):
+        return run_workload(
+            barrier_benchmark,
+            32,
+            "baseline",
+            params=params,
+            baseline_config=BaselineConfig(init_cost=0),
+            noise=NoiseConfig(period=ms(20), duration=ms(2), coordinated=coordinated),
+            seed=7,
+        ).runtime_ns
+
+    quiet = run_workload(
+        barrier_benchmark,
+        32,
+        "baseline",
+        params=params,
+        baseline_config=BaselineConfig(init_cost=0),
+        seed=7,
+    ).runtime_ns
+    return quiet, run(False), run(True)
+
+
+def test_ablation_noise_coordination(benchmark):
+    quiet, uncoord, coord = benchmark.pedantic(_noise_runs, rounds=1, iterations=1)
+    print_table(
+        "Ablation: OS noise on a fine-grained barrier code (32 ranks)",
+        ["scenario", "runtime (s)", "vs quiet"],
+        [
+            ["no noise", f"{quiet / 1e9:.3f}", "--"],
+            ["uncoordinated daemons", f"{uncoord / 1e9:.3f}", f"+{100 * (uncoord / quiet - 1):.0f}%"],
+            ["coordinated daemons", f"{coord / 1e9:.3f}", f"+{100 * (coord / quiet - 1):.0f}%"],
+        ],
+    )
+    # The coscheduling argument: coordination removes most of the damage.
+    assert uncoord > coord > quiet * 0.98

@@ -1,0 +1,76 @@
+"""Fault-tolerance bench: checkpoint interval vs completion time.
+
+Not a paper figure — the paper names system-level fault tolerance as its
+main future-work direction (§6), arguing the deterministic slice
+boundaries make coordinated checkpointing cheap.  This bench quantifies
+the classic trade-off on top of our implementation: frequent checkpoints
+cost steady-state pause time, rare ones cost lost work on failure — the
+optimum sits in between (the Young/Daly shape).
+"""
+
+import pytest
+
+from repro.apps import resilient_stencil
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.ft import CheckpointConfig, RecoveryManager
+from repro.harness.report import print_table
+from repro.network import Cluster, ClusterSpec
+from repro.units import mib, ms
+
+TOTAL_STEPS = 120
+STEP = ms(5)
+FAILURES = [(ms(300), 1), (ms(520), 2)]
+
+
+def run_with_interval(interval_ms: float) -> dict:
+    cluster = Cluster(ClusterSpec(n_nodes=8))
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    manager = RecoveryManager(
+        runtime,
+        CheckpointConfig(
+            interval=ms(interval_ms), image_bytes=mib(32), storage_bandwidth=4e9
+        ),
+        reboot_delay=ms(30),
+    )
+    report = manager.run_to_completion(
+        resilient_stencil,
+        n_ranks=16,
+        total_steps=TOTAL_STEPS,
+        params=dict(step_compute=STEP),
+        failures=list(FAILURES),
+    )
+    return {
+        "interval_ms": interval_ms,
+        "total_s": report.total_ns / 1e9,
+        "checkpoints": report.checkpoints,
+        "lost_steps": report.lost_steps,
+        "restarts": report.restarts,
+    }
+
+
+def _sweep():
+    return [run_with_interval(iv) for iv in (15, 50, 120, 400, 10000)]
+
+
+def test_checkpoint_interval_tradeoff(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        "Checkpoint interval vs completion under 2 node failures (16 ranks)",
+        ["interval (ms)", "total (s)", "checkpoints", "lost steps", "restarts"],
+        [
+            [r["interval_ms"], f"{r['total_s']:.3f}", r["checkpoints"], r["lost_steps"], r["restarts"]]
+            for r in rows
+        ],
+    )
+    by_iv = {r["interval_ms"]: r for r in rows}
+    # Every configuration survives the failures.
+    assert all(r["restarts"] >= 1 for r in rows)
+    # Checkpoint counts decrease with the interval.
+    counts = [r["checkpoints"] for r in rows]
+    assert counts == sorted(counts, reverse=True)
+    # Lost work grows as checkpoints get rarer.
+    assert by_iv[10000]["lost_steps"] >= by_iv[50]["lost_steps"]
+    # Both extremes are worse than (or equal to) the mid-range optimum.
+    best_mid = min(by_iv[50]["total_s"], by_iv[120]["total_s"])
+    assert by_iv[10000]["total_s"] >= best_mid
+    assert by_iv[15]["total_s"] >= best_mid * 0.98

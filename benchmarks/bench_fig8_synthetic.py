@@ -1,0 +1,79 @@
+"""Figure 8: the synthetic benchmarks (paper §5.2).
+
+- 8(a): slowdown vs computation granularity, barrier benchmark, 62 procs
+- 8(b): slowdown vs process count, barrier benchmark, 10 ms granularity
+- 8(c): slowdown vs granularity, nearest-neighbour (4 peers, 4 KB msgs)
+- 8(d): slowdown vs process count, nearest-neighbour, 10 ms granularity
+
+Shape criteria (the paper's claims): slowdown decreases monotonically
+with granularity, dropping to single digits at 10 ms (paper: <7.5 %
+barrier, <8 % p2p); and is roughly flat in the process count.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    fig8a_barrier_vs_granularity,
+    fig8b_barrier_vs_procs,
+    fig8c_p2p_vs_granularity,
+    fig8d_p2p_vs_procs,
+)
+from repro.harness.report import print_table
+
+
+def _print(title, x_name, rows):
+    print_table(
+        title,
+        [x_name, "Quadrics-MPI model (s)", "BCS-MPI (s)", "slowdown %"],
+        [
+            [r[x_name], f"{r['baseline_s']:.3f}", f"{r['bcs_s']:.3f}", f"{r['slowdown_pct']:.2f}"]
+            for r in rows
+        ],
+    )
+
+
+def test_fig8a_barrier_vs_granularity(benchmark, repro_ranks):
+    rows = benchmark.pedantic(
+        lambda: fig8a_barrier_vs_granularity(n_ranks=repro_ranks or 62),
+        rounds=1,
+        iterations=1,
+    )
+    _print("Fig 8(a): computation + barrier, slowdown vs granularity", "granularity_ms", rows)
+    slowdowns = [r["slowdown_pct"] for r in rows]
+    # Monotone decreasing (allow tiny jitter) and single-digit by 10 ms.
+    for a, b in zip(slowdowns, slowdowns[1:]):
+        assert b <= a * 1.15
+    at10 = next(r for r in rows if r["granularity_ms"] == 10)
+    assert at10["slowdown_pct"] < 12.0
+    assert slowdowns[-1] < 5.0
+
+
+def test_fig8b_barrier_vs_procs(benchmark):
+    rows = benchmark.pedantic(fig8b_barrier_vs_procs, rounds=1, iterations=1)
+    _print("Fig 8(b): computation + barrier, 10 ms, slowdown vs processes", "processes", rows)
+    slowdowns = [r["slowdown_pct"] for r in rows]
+    # Paper: "almost insensitive to the number of processors".
+    assert max(slowdowns) - min(slowdowns) < 6.0
+    assert all(s < 14.0 for s in slowdowns)
+
+
+def test_fig8c_p2p_vs_granularity(benchmark, repro_ranks):
+    rows = benchmark.pedantic(
+        lambda: fig8c_p2p_vs_granularity(n_ranks=repro_ranks or 62),
+        rounds=1,
+        iterations=1,
+    )
+    _print("Fig 8(c): computation + nearest-neighbour, slowdown vs granularity", "granularity_ms", rows)
+    slowdowns = [r["slowdown_pct"] for r in rows]
+    for a, b in zip(slowdowns, slowdowns[1:]):
+        assert b <= a * 1.15
+    at10 = next(r for r in rows if r["granularity_ms"] == 10)
+    assert at10["slowdown_pct"] < 12.0
+
+
+def test_fig8d_p2p_vs_procs(benchmark):
+    rows = benchmark.pedantic(fig8d_p2p_vs_procs, rounds=1, iterations=1)
+    _print("Fig 8(d): computation + nearest-neighbour, 10 ms, vs processes", "processes", rows)
+    slowdowns = [r["slowdown_pct"] for r in rows]
+    assert max(slowdowns) - min(slowdowns) < 6.0
+    assert all(s < 14.0 for s in slowdowns)

@@ -1,0 +1,57 @@
+"""STORM job-launch bench (the substrate result BCS-MPI builds on, §2).
+
+The paper's companion system STORM [8] demonstrated that, implemented
+on the BCS core primitives, resource management becomes "orders of
+magnitude faster than existing production-level software".  This bench
+regenerates the launch-time-vs-machine-size series on our simulated
+cluster: binary distribution rides the hardware multicast, completion
+detection is one Compare-And-Write, and launch time is nearly flat in
+the node count.
+"""
+
+import pytest
+
+from repro.core import BcsCore
+from repro.harness.report import print_table
+from repro.network import Cluster, ClusterSpec
+from repro.storm import StormLauncher
+from repro.units import mib
+
+NODE_COUNTS = (4, 8, 16, 32, 64, 128)
+BINARY = mib(8)
+
+
+def launch_time(n_nodes: int) -> dict:
+    cluster = Cluster(ClusterSpec(n_nodes=n_nodes))
+    core = BcsCore(cluster)
+    launcher = StormLauncher(core, cluster.management_node.id)
+
+    def body():
+        report = yield from launcher.launch_binary(list(range(n_nodes)), BINARY)
+        return report
+
+    report = cluster.run(until=cluster.env.process(body()))
+    return {
+        "nodes": n_nodes,
+        "transfer_ms": report.transfer_ns / 1e6,
+        "total_ms": report.total_ns / 1e6,
+    }
+
+
+def _sweep():
+    return [launch_time(n) for n in NODE_COUNTS]
+
+
+def test_storm_launch_scales_flat(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        "STORM launch of an 8 MiB binary vs machine size",
+        ["nodes", "binary transfer (ms)", "total launch (ms)"],
+        [[r["nodes"], f"{r['transfer_ms']:.2f}", f"{r['total_ms']:.2f}"] for r in rows],
+    )
+    totals = [r["total_ms"] for r in rows]
+    # 32x the nodes costs less than 1.5x the time: the multicast tree
+    # does the fan-out (the "lightning-fast" STORM result).
+    assert totals[-1] < 1.5 * totals[0]
+    # And absolute launch stays in the tens-of-ms class, not seconds.
+    assert all(t < 200 for t in totals)

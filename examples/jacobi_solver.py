@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""A real numerical solver on the simulated machine.
+
+Messages in this system carry live numpy payloads, so actual parallel
+algorithms run and converge — not just timing skeletons.  This example
+solves the 2D Poisson problem with Jacobi iteration: each rank owns a
+strip of the grid, exchanges halo rows with its neighbours every sweep,
+and checks the global residual with an allreduce.  The same code runs
+under BCS-MPI and the production-MPI model and converges to identical
+iterates (bit-for-bit, thanks to the deterministic reduction trees).
+
+Run:  python examples/jacobi_solver.py
+"""
+
+import numpy as np
+
+from repro.harness import run_workload
+from repro.harness.report import print_table
+from repro.units import us
+
+N = 64  # global grid is N x N
+TOL = 1e-4
+MAX_SWEEPS = 400
+
+
+def jacobi(ctx):
+    """One rank of the strip-decomposed Jacobi solver."""
+    rows = N // ctx.size
+    # Local strip with two halo rows; fixed boundary = 1.0 on the top edge.
+    u = np.zeros((rows + 2, N))
+    if ctx.rank == 0:
+        u[0, :] = 1.0
+    rhs = np.zeros_like(u)
+
+    up, down = ctx.rank - 1, ctx.rank + 1
+    residual = np.inf
+    sweeps = 0
+    while residual > TOL and sweeps < MAX_SWEEPS:
+        # Halo exchange: non-blocking, overlapped with the stencil's
+        # interior update (the BCS-friendly pattern from the paper).
+        reqs = []
+        if up >= 0:
+            reqs.append(ctx.comm.isend(u[1].copy(), dest=up, tag=0))
+            reqs.append(ctx.comm.irecv(source=up, tag=1, size=N * 8))
+        if down < ctx.size:
+            reqs.append(ctx.comm.isend(u[rows].copy(), dest=down, tag=1))
+            reqs.append(ctx.comm.irecv(source=down, tag=0, size=N * 8))
+
+        # Cost model for the sweep's arithmetic (5-point stencil).
+        yield from ctx.compute(us(rows * N // 50 + 5))
+        yield from ctx.comm.waitall(reqs)
+
+        for req in reqs:
+            if req.payload is None:
+                continue
+            status = req.status()
+            if status.tag == 1:
+                u[0] = req.payload  # halo from above
+            else:
+                u[rows + 1] = req.payload  # halo from below
+
+        new = u.copy()
+        new[1 : rows + 1, 1:-1] = 0.25 * (
+            u[:rows, 1:-1] + u[2 : rows + 2, 1:-1] + u[1 : rows + 1, :-2]
+            + u[1 : rows + 1, 2:] - rhs[1 : rows + 1, 1:-1]
+        )
+        # Boundary conditions.
+        if ctx.rank == 0:
+            new[1, :] = u[1, :] * 0 + new[1, :]
+        local_delta = float(np.abs(new - u).max())
+        u = new
+        residual = yield from ctx.comm.allreduce(np.float64(local_delta), "max")
+        residual = float(residual)
+        sweeps += 1
+
+    center = float(u[rows // 2 + 1, N // 2])
+    return (sweeps, round(residual, 10), round(center, 10))
+
+
+def main():
+    rows = []
+    results = {}
+    for backend in ("bcs", "baseline"):
+        run = run_workload(jacobi, n_ranks=8, backend=backend)
+        sweeps, residual, center = run.results[0]
+        results[backend] = run.results
+        rows.append(
+            [backend, sweeps, f"{residual:.2e}", f"{center:.6f}", f"{run.runtime_s:.3f}"]
+        )
+    print_table(
+        f"Jacobi solve of a {N}x{N} Poisson problem on 8 ranks",
+        ["backend", "sweeps", "final residual", "center value", "sim runtime (s)"],
+        rows,
+    )
+    identical = results["bcs"] == results["baseline"]
+    print(f"\niterates identical across backends: {identical}")
+    print(
+        "note the runtimes: one allreduce per ~25 us sweep is exactly the\n"
+        "fine-grained regime where slice quantization hurts (paper Fig 8 at\n"
+        "the far left) — batch more work per synchronization to fix it."
+    )
+    assert identical
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Gang scheduling: the paper's other remedy for blocking delays (§5.4).
+
+"The simplest option is to schedule a different parallel job whenever
+the application blocks for communication, thus making use of the CPU."
+STORM gang-schedules two blocking-heavy jobs in lockstep with the BCS
+time slices; communication of both jobs progresses every slice, so the
+pair finishes in much less than twice a single job's time.
+
+Run:  python examples/multiprogramming_gang.py
+"""
+
+from repro.apps import sweep3d_blocking
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.harness.report import print_table
+from repro.network import Cluster, ClusterSpec
+from repro.storm import GangScheduler, JobSpec
+from repro.units import fmt_time, to_seconds
+
+PARAMS = dict(octants=2, kblocks=4)
+N_RANKS = 16
+
+
+def run(n_jobs: int, gang: bool) -> int:
+    cluster = Cluster(ClusterSpec(n_nodes=N_RANKS // 2))
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    scheduler = GangScheduler(runtime) if gang else None
+    jobs = []
+    for i in range(n_jobs):
+        job = runtime.launch(
+            JobSpec(app=sweep3d_blocking, n_ranks=N_RANKS, name=f"sweep{i}", params=PARAMS)
+        )
+        if scheduler is not None:
+            scheduler.add_job(job)
+        jobs.append(job)
+    cluster.env.run(until=cluster.env.all_of([j.done for j in jobs]))
+    return cluster.env.now
+
+
+def main():
+    t_one = run(1, gang=False)
+    t_two_gang = run(2, gang=True)
+    rows = [
+        ["1 job, dedicated machine", fmt_time(t_one), "1.00x"],
+        [
+            "2 jobs, gang-scheduled (MPL=2)",
+            fmt_time(t_two_gang),
+            f"{to_seconds(t_two_gang) / to_seconds(t_one):.2f}x",
+        ],
+        ["2 jobs if run back-to-back", fmt_time(2 * t_one), "2.00x"],
+    ]
+    print_table(
+        "Multiprogramming blocking-heavy jobs under BCS + STORM",
+        ["configuration", "makespan", "vs single job"],
+        rows,
+    )
+    saved = 100 * (1 - to_seconds(t_two_gang) / (2 * to_seconds(t_one)))
+    print(f"\ngang scheduling reclaims {saved:.0f}% of the blocked-CPU time")
+
+
+if __name__ == "__main__":
+    main()

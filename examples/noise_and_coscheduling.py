@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""OS noise and why global coordination matters (paper §1, citing [20]).
+
+A fine-grained bulk-synchronous application is run under the
+production-MPI model while per-node dæmons steal the CPU:
+
+- *uncoordinated* dæmons (random phases): with N nodes, some node is
+  almost always perturbed, so every barrier waits for the unlucky one;
+- *coordinated* dæmons (same windows everywhere): the app pays the duty
+  cycle once — this is the regime a BCS-style globally-scheduled system
+  creates by construction.
+
+Run:  python examples/noise_and_coscheduling.py
+"""
+
+from repro.apps import barrier_benchmark
+from repro.harness import run_workload
+from repro.harness.report import print_table
+from repro.mpi.baseline import BaselineConfig
+from repro.noise import NoiseConfig
+from repro.units import ms, to_seconds
+
+PARAMS = dict(granularity=ms(2), iterations=40, jitter=0.0)
+N_RANKS = 32
+
+
+def run(noise: NoiseConfig | None) -> float:
+    result = run_workload(
+        barrier_benchmark,
+        n_ranks=N_RANKS,
+        backend="baseline",
+        params=PARAMS,
+        baseline_config=BaselineConfig(init_cost=0),
+        noise=noise,
+    )
+    return result.runtime_s
+
+
+def main():
+    quiet = run(None)
+    rows = [["no noise", f"{quiet:.3f}", "--"]]
+    for label, coordinated in (("uncoordinated", False), ("coordinated", True)):
+        noisy = run(
+            NoiseConfig(period=ms(20), duration=ms(2), coordinated=coordinated)
+        )
+        rows.append([f"{label} daemons", f"{noisy:.3f}", f"+{100*(noisy/quiet-1):.0f}%"])
+    print_table(
+        "Fine-grained barrier code vs 10% duty-cycle OS noise (32 ranks)",
+        ["scenario", "runtime (s)", "vs quiet"],
+        rows,
+    )
+    print(
+        "\ncoordinating the daemons recovers most of the loss — the effect\n"
+        "BCS generalizes by globally scheduling *all* system activity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: run an MPI program under BCS-MPI on a simulated cluster.
+
+The application below is ordinary message-passing code written against
+the backend-neutral communicator API: rank 0 scatters work, everyone
+computes and exchanges halos with neighbours, and a global reduction
+closes each step.  The same function runs unmodified under the
+production-MPI baseline — swap ``backend="bcs"`` for ``"baseline"``.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.apps.base import neighbors_2d
+from repro.harness import run_workload
+from repro.units import fmt_time, ms
+
+
+def my_app(ctx, steps=5):
+    """A miniature bulk-synchronous stencil code."""
+    # Rank 0 distributes initial conditions.
+    if ctx.rank == 0:
+        chunks = [np.full(64, float(r)) for r in range(ctx.size)]
+        field = yield from ctx.comm.scatter(chunks, root=0)
+    else:
+        field = yield from ctx.comm.scatter(None, root=0)
+
+    peers = neighbors_2d(ctx.rank, ctx.size)
+    for step in range(steps):
+        # Post halo exchanges, overlap them with the step's computation.
+        reqs = []
+        for peer in peers:
+            reqs.append(ctx.comm.isend(field[:8].copy(), dest=peer, tag=step))
+            reqs.append(ctx.comm.irecv(source=peer, tag=step, size=64))
+        yield from ctx.compute(ms(5))
+        yield from ctx.comm.waitall(reqs)
+
+        halos = [r.payload for r in reqs if r.payload is not None]
+        field = field * 0.5 + sum(h.mean() for h in halos) / len(halos)
+
+        # Global convergence check.
+        norm = yield from ctx.comm.allreduce(np.float64(field.sum()), "sum")
+    return float(norm)
+
+
+def main():
+    result = run_workload(my_app, n_ranks=16, backend="bcs", params={"steps": 5})
+    print(f"ran {result.app_name!r} on {result.n_ranks} ranks under BCS-MPI")
+    print(f"simulated wall-clock: {fmt_time(result.runtime_ns)}")
+    print(f"all ranks agree on the result: {len(set(result.results)) == 1}")
+    print("runtime counters:")
+    for key in (
+        "slices",
+        "active_slices",
+        "descriptors_exchanged",
+        "messages_delivered",
+        "collectives_scheduled",
+        "bytes_transferred",
+    ):
+        print(f"  {key:24s} {result.stats.get(key, 0)}")
+
+
+if __name__ == "__main__":
+    main()

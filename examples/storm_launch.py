@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""STORM in action: hardware-multicast job launch + heartbeat liveness.
+
+STORM ([8], the substrate BCS-MPI is integrated into) launches jobs by
+pushing the binary through the same Xfer-And-Signal multicast the
+communication library uses, and checks completion with one
+Compare-And-Write.  Launch time is nearly flat in the node count — the
+"orders of magnitude faster than production launchers" result.
+
+Run:  python examples/storm_launch.py
+"""
+
+from repro.core import BcsCore
+from repro.harness.report import print_table
+from repro.network import Cluster, ClusterSpec
+from repro.storm import HeartbeatService, StormLauncher
+from repro.units import fmt_time, mib, ms
+
+
+def launch_on(n_nodes: int, binary=mib(8)):
+    cluster = Cluster(ClusterSpec(n_nodes=n_nodes))
+    core = BcsCore(cluster)
+    launcher = StormLauncher(core, cluster.management_node.id)
+
+    def body():
+        report = yield from launcher.launch_binary(list(range(n_nodes)), binary)
+        return report
+
+    return cluster.run(until=cluster.env.process(body()))
+
+
+def heartbeat_demo():
+    cluster = Cluster(ClusterSpec(n_nodes=8))
+    core = BcsCore(cluster)
+    hb = HeartbeatService(core, cluster.management_node.id, list(range(8)), period=ms(10))
+
+    def killer():
+        yield cluster.env.timeout(ms(35))
+        hb.fail(5)  # node 5 stops acknowledging
+
+    cluster.env.process(killer())
+    hb.start(rounds=8)
+    cluster.run()
+    return hb
+
+
+def main():
+    rows = []
+    for n in (4, 8, 16, 32, 64):
+        report = launch_on(n)
+        rows.append([n, fmt_time(report.transfer_ns), fmt_time(report.total_ns)])
+    print_table(
+        "STORM job launch (8 MiB binary over hardware multicast)",
+        ["nodes", "binary transfer", "total launch"],
+        rows,
+    )
+    print("\nnote the near-flat scaling: the multicast tree does the fan-out.")
+
+    hb = heartbeat_demo()
+    missed = {n: c for n, c in hb.stats.missed.items() if c}
+    print(
+        f"\nheartbeats: {hb.stats.sent} sent; missed acks {missed}; "
+        f"alive set = {hb.alive()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The paper's §5.4 story: turning SWEEP3D's blocking communication into
+non-blocking communication erases the BCS slowdown.
+
+Reproduces the Figure 11 comparison at a reduced sweep count: the
+blocking wavefront loses ~30-50 % under BCS-MPI (every MPI_Recv stalls
+~1.5 time slices and the stalls pipeline), while the <50-line
+Isend/Irecv + Waitall transform hides the slice latency under the 3.5 ms
+compute step and runs at production-MPI speed.
+
+Run:  python examples/sweep3d_blocking_vs_nonblocking.py
+"""
+
+from repro.apps import sweep3d_blocking, sweep3d_nonblocking
+from repro.bcs import BcsConfig
+from repro.harness import compare_backends
+from repro.harness.report import print_table
+from repro.mpi.baseline import BaselineConfig
+
+PARAMS = dict(octants=4, kblocks=4)  # a reduced but structurally true sweep
+
+
+def main():
+    rows = []
+    for label, app in (
+        ("blocking", sweep3d_blocking),
+        ("non-blocking", sweep3d_nonblocking),
+    ):
+        comparison = compare_backends(
+            app,
+            n_ranks=32,
+            params=PARAMS,
+            bcs_config=BcsConfig(init_cost=0),
+            baseline_config=BaselineConfig(init_cost=0),
+        )
+        rows.append(
+            [
+                label,
+                f"{comparison.baseline.runtime_s:.3f}",
+                f"{comparison.bcs.runtime_s:.3f}",
+                f"{comparison.slowdown_pct:+.1f}%",
+            ]
+        )
+    print_table(
+        "SWEEP3D under BCS-MPI: the blocking -> non-blocking transform",
+        ["variant", "Quadrics-MPI model (s)", "BCS-MPI (s)", "BCS slowdown"],
+        rows,
+    )
+    print(
+        "\nPaper (Fig 11): blocking ~30% slower under BCS at every process\n"
+        "count; the transformed code slightly outperforms production MPI."
+    )
+
+
+if __name__ == "__main__":
+    main()

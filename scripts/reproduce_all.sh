@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full reproduction pass: tests, every paper table/figure, examples.
+#
+#   ./scripts/reproduce_all.sh            # default (scaled) instances
+#   REPRO_SCALE=1.0 ./scripts/reproduce_all.sh   # full class-C sizes
+#
+# Outputs land next to this script's repo root:
+#   test_output.txt   - the complete pytest run
+#   bench_output.txt  - every benchmark (tables/figures + ablations)
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/3 test suite =="
+python -m pytest tests/ 2>&1 | tee test_output.txt | tail -2
+
+echo "== 2/3 benchmarks (paper tables & figures) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt | tail -4
+
+echo "== 3/3 examples =="
+for example in examples/*.py; do
+    echo "--- ${example} ---"
+    python "$example" || exit 1
+done
+
+echo "done: see test_output.txt / bench_output.txt and EXPERIMENTS.md"

@@ -1,0 +1,5 @@
+"""The BCS API layer (paper Appendix A)."""
+
+from .bcs_api import UNLIMITED, BcsApi
+
+__all__ = ["BcsApi", "UNLIMITED"]

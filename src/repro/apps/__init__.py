@@ -1,0 +1,22 @@
+"""Workloads: the paper's synthetic benchmarks and applications."""
+
+from .base import neighbors_2d, neighbors_3d, process_grid, ring_neighbors
+from .nas import NAS_APPS
+from .resilient import resilient_stencil
+from .sage import sage
+from .sweep3d import sweep3d_blocking, sweep3d_nonblocking
+from .synthetic import barrier_benchmark, nearest_neighbor_benchmark
+
+__all__ = [
+    "NAS_APPS",
+    "barrier_benchmark",
+    "nearest_neighbor_benchmark",
+    "neighbors_2d",
+    "neighbors_3d",
+    "process_grid",
+    "resilient_stencil",
+    "ring_neighbors",
+    "sage",
+    "sweep3d_blocking",
+    "sweep3d_nonblocking",
+]

@@ -1,0 +1,21 @@
+"""NAS Parallel Benchmark skeletons (NPB 2.4, class C characterization).
+
+The paper runs IS, EP, CG, MG and LU (§5.3).  Each skeleton reproduces
+the published communication pattern, blocking structure and granularity
+of the class C problem; parameters are exposed so the harness can run
+scaled-down instances (see EXPERIMENTS.md for the scaling rule).
+"""
+
+from .cg import cg
+from .ep import ep
+from .ft_ import ft
+from .is_ import integer_sort
+from .lu import lu
+from .mg import mg
+
+#: Benchmark registry: name -> app generator function.  IS/EP/CG/MG/LU
+#: are the paper's five; FT is the extension enabled by our MPI-groups
+#: support (the paper had to exclude it, §4.5).
+NAS_APPS = {"IS": integer_sort, "EP": ep, "CG": cg, "MG": mg, "LU": lu, "FT": ft}
+
+__all__ = ["NAS_APPS", "cg", "ep", "ft", "integer_sort", "lu", "mg"]

@@ -1,0 +1,17 @@
+"""Shared sizing helpers for the NAS skeletons."""
+
+from __future__ import annotations
+
+import math
+
+
+def halo_bytes_for_level(grid_points: int, n_ranks: int, word: int = 8) -> int:
+    """Face-halo size for a ``grid_points``^3 domain split across ranks.
+
+    A 2D decomposition over the most-square grid gives each rank a
+    pencil whose face is roughly ``(grid_points / sqrt(p))^2`` points.
+    """
+    if grid_points < 1 or n_ranks < 1:
+        raise ValueError("positive sizes required")
+    side = grid_points / math.sqrt(n_ranks)
+    return max(int(side * side) * word, word)

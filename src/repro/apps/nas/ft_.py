@@ -1,0 +1,72 @@
+"""NPB FT (3D FFT) skeleton — beyond the paper's evaluation.
+
+The paper could only run five NPB codes because "BCS-MPI does not
+support MPI groups yet" (§4.5); FT is one of the excluded three.  This
+implementation *does* support communicator splitting, so FT is included
+as an extension workload: per iteration, a 3D FFT performs local 1D
+FFTs (compute) and a global transpose — an MPI_Alltoall over row/column
+sub-communicators, the heaviest collective pattern in the suite.
+
+Class C: 512x512x512 complex grid, 20 iterations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...units import ms
+
+
+def ft(
+    ctx,
+    iterations: int = 20,
+    grid_points: int = 512,
+    flop_ns_per_point: float = 230.0,
+):
+    """One rank of FT; returns the checksum stand-in.
+
+    Uses a row/column decomposition over sub-communicators when the
+    rank count allows a 2D split, falling back to the world
+    communicator otherwise.
+    """
+    total_points = grid_points**3
+    local_points = total_points // ctx.size
+    fft_compute = int(local_points * flop_ns_per_point)
+    # Transpose volume: the whole local slab is exchanged.
+    slab_bytes = local_points * 16  # complex128
+
+    # Row sub-communicators (the NPB 2D layout), if size factorizes.
+    rows = int(math.isqrt(ctx.size))
+    while rows > 1 and ctx.size % rows:
+        rows -= 1
+    if rows > 1:
+        row_members = [
+            r for r in range(ctx.size) if r // (ctx.size // rows) == ctx.rank // (ctx.size // rows)
+        ]
+        comm = ctx.comm.split(row_members)
+        assert comm is not None
+    else:
+        comm = ctx.comm
+
+    checksum = np.float64(0.0)
+    pair_bytes = max(slab_bytes // comm.size, 16)
+    for it in range(iterations):
+        # Local 1D FFT passes.
+        yield from ctx.compute(fft_compute)
+        # Global transpose: personalized all-to-all inside the row comm.
+        reqs = []
+        for peer in range(comm.size):
+            if peer == comm.rank:
+                continue
+            reqs.append(comm.isend(None, dest=peer, tag=it, size=pair_bytes))
+            reqs.append(comm.irecv(source=peer, tag=it, size=pair_bytes))
+        yield from comm.waitall(reqs)
+        # Second FFT pass along the transposed axis.
+        yield from ctx.compute(fft_compute)
+        # Global checksum over the *world* communicator.
+        checksum = yield from ctx.comm.allreduce(
+            np.float64(1.0 / (it + 1) + ctx.rank * 1e-9), "sum"
+        )
+    return float(checksum)

@@ -1,0 +1,48 @@
+"""NPB LU (SSOR solver) skeleton.
+
+LU applies symmetric successive over-relaxation to the Navier-Stokes
+equations.  Each iteration performs a *lower-triangular* and an
+*upper-triangular* wavefront sweep over the k-planes of a 2D-decomposed
+pencil: at every k-plane step a rank blocking-receives thin boundary
+strips from its two upstream neighbours, computes, and blocking-sends
+downstream — small messages, fine grain, and the most blocking-call-dense
+pattern of the suite.  Table 2's worst slowdown (15.04 %) belongs to LU
+for exactly that reason.
+
+Class C: 162^3 grid, 250 iterations.  The skeleton exposes the iteration
+and k-block counts so the harness can run a scaled instance with the
+same per-step structure.
+"""
+
+from __future__ import annotations
+
+from ...units import kib, ms
+from .base_helpers import halo_bytes_for_level
+from ..sweep_helpers import wavefront_step_blocking
+
+
+def lu(
+    ctx,
+    iterations: int = 250,
+    kblocks: int = 16,
+    step_compute: int = ms(12.5),
+    strip_bytes: int | None = None,
+):
+    """One rank of LU: per iteration one lower and one upper sweep."""
+    if strip_bytes is None:
+        strip_bytes = max(halo_bytes_for_level(162, ctx.size) // 8, 256)
+
+    for it in range(iterations):
+        # Lower-triangular sweep: wavefront from the (0,0) corner.
+        for kb in range(kblocks):
+            yield from wavefront_step_blocking(
+                ctx, direction=(1, 1), tag=it * 1000 + kb,
+                compute=step_compute, message_bytes=strip_bytes,
+            )
+        # Upper-triangular sweep: wavefront from the opposite corner.
+        for kb in range(kblocks):
+            yield from wavefront_step_blocking(
+                ctx, direction=(-1, -1), tag=it * 1000 + 500 + kb,
+                compute=step_compute, message_bytes=strip_bytes,
+            )
+    return iterations

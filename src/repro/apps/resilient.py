@@ -1,0 +1,45 @@
+"""A restartable workload for the fault-tolerance experiments.
+
+Implements the restartable-application contract of
+:mod:`repro.ft.recovery`: accepts ``start_step``/``total_steps``, and
+reports durable progress to the checkpoint service after every step.
+Structurally it is the SAGE-like pattern (non-blocking stencil + one
+allreduce per step), which makes the checkpoint/restart overhead
+numbers directly comparable to the Table 2 workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import kib, ms
+from .base import neighbors_2d
+
+
+def resilient_stencil(
+    ctx,
+    total_steps: int = 20,
+    start_step: int = 0,
+    ft=None,
+    step_compute: int = ms(5),
+    boundary_bytes: int = kib(8),
+):
+    """Checkpoint-aware bulk-synchronous stencil; returns steps done."""
+    peers = neighbors_2d(ctx.rank, ctx.size)
+    if ft is not None:
+        ft.report(ctx, start_step)
+    for step in range(start_step, total_steps):
+        reqs = []
+        for peer in peers:
+            reqs.append(
+                ctx.comm.isend(None, dest=peer, tag=step % 8, size=boundary_bytes)
+            )
+            reqs.append(
+                ctx.comm.irecv(source=peer, tag=step % 8, size=boundary_bytes)
+            )
+        yield from ctx.compute(step_compute)
+        yield from ctx.comm.waitall(reqs)
+        _ = yield from ctx.comm.allreduce(np.float64(step), "max")
+        if ft is not None:
+            ft.report(ctx, step + 1)
+    return total_steps

@@ -1,0 +1,36 @@
+"""Wavefront step primitives shared by SWEEP3D and LU."""
+
+from __future__ import annotations
+
+from .base import grid_coords, grid_rank, process_grid
+
+
+def wavefront_peers(rank: int, size: int, direction):
+    """(upstream, downstream) neighbour lists for a 2D wavefront sweep.
+
+    ``direction`` is the (di, dj) sign pair of the sweep; upstream
+    neighbours are the ones whose data this rank consumes.
+    """
+    di, dj = direction
+    px, py = process_grid(size)
+    i, j = grid_coords(rank, px, py)
+    upstream, downstream = [], []
+    if 0 <= i - di < px:
+        upstream.append(grid_rank(i - di, j, px, py))
+    if 0 <= i + di < px:
+        downstream.append(grid_rank(i + di, j, px, py))
+    if 0 <= j - dj < py:
+        upstream.append(grid_rank(i, j - dj, px, py))
+    if 0 <= j + dj < py:
+        downstream.append(grid_rank(i, j + dj, px, py))
+    return upstream, downstream
+
+
+def wavefront_step_blocking(ctx, direction, tag, compute, message_bytes):
+    """One pipelined cell-step: blocking recvs, compute, blocking sends."""
+    upstream, downstream = wavefront_peers(ctx.rank, ctx.size, direction)
+    for peer in upstream:
+        yield from ctx.comm.recv(source=peer, tag=tag, size=message_bytes)
+    yield from ctx.compute(compute)
+    for peer in downstream:
+        yield from ctx.comm.send(None, dest=peer, tag=tag, size=message_bytes)

@@ -1,0 +1,62 @@
+"""The paper's two synthetic benchmarks (§5.2).
+
+1. *Computation and barrier*: every process computes for a parametric
+   amount of time and globally synchronizes, in a loop (Figures 8a/8b).
+2. *Computation and nearest-neighbour communication*: every process
+   computes, exchanges a fixed number of non-blocking point-to-point
+   messages with a set of neighbours, and waits for completion, in a
+   loop (Figures 8c/8d; the paper uses 4 neighbours and 4 KB messages).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.rng import derive_seed
+from ..units import kib, ms
+from .base import exchange_nonblocking, neighbors_2d
+
+
+def _jittered(ctx, granularity: int, jitter: float):
+    """Per-iteration compute times with a little per-rank jitter.
+
+    Real compute phases never hit the exact nominal duration (cache
+    effects, TLB misses); without this the loop phase-locks to the slice
+    boundary and every blocking call lands on its worst-case delay
+    instead of the paper's 1.5-slice average.
+    """
+    if jitter <= 0.0:
+        while True:
+            yield granularity
+    rng = np.random.default_rng(derive_seed(ctx.rank, "synthetic-jitter"))
+    while True:
+        yield max(int(granularity * (1.0 + rng.uniform(-jitter, jitter))), 1)
+
+
+def barrier_benchmark(
+    ctx,
+    granularity: int = ms(10),
+    iterations: int = 20,
+    jitter: float = 0.05,
+):
+    """Compute ``granularity`` ns then MPI_Barrier, ``iterations`` times."""
+    grains = _jittered(ctx, granularity, jitter)
+    for _ in range(iterations):
+        yield from ctx.compute(next(grains))
+        yield from ctx.comm.barrier()
+
+
+def nearest_neighbor_benchmark(
+    ctx,
+    granularity: int = ms(10),
+    iterations: int = 20,
+    n_neighbors: int = 4,
+    message_bytes: int = kib(4),
+    jitter: float = 0.05,
+):
+    """Compute, exchange non-blocking messages with neighbours, waitall."""
+    peers = neighbors_2d(ctx.rank, ctx.size)[:n_neighbors]
+    grains = _jittered(ctx, granularity, jitter)
+    for it in range(iterations):
+        yield from ctx.compute(next(grains))
+        yield from exchange_nonblocking(ctx, peers, message_bytes, tag=it % 2)

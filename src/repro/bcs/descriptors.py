@@ -1,0 +1,220 @@
+"""Communication descriptors and requests.
+
+When an application process invokes a communication primitive, it posts a
+*descriptor* to NIC memory (paper §3) and, if the call is blocking,
+suspends.  Descriptors carry everything the NIC threads need to complete
+the operation without further host involvement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..sim import Event
+
+#: Wildcards for receive matching (MPI_ANY_SOURCE / MPI_ANY_TAG).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_desc_ids = itertools.count()
+
+
+class BcsRequest:
+    """Completion handle for one posted operation (paper's BCS_Request).
+
+    The NIC signals completion by triggering :attr:`done`; processes poll
+    it (``bcs_test``) or block on it (``bcs_test(blocking)``), in which
+    case the Node Manager restarts them at the next slice boundary.
+    """
+
+    __slots__ = (
+        "env",
+        "kind",
+        "done",
+        "payload",
+        "source",
+        "tag",
+        "size",
+        "error",
+        "posted_at",
+        "completed_at",
+    )
+
+    def __init__(self, env, kind: str):
+        self.env = env
+        self.kind = kind
+        self.done: Event = env.event(name=f"req:{kind}")
+        #: Delivered payload (receives and value-returning collectives).
+        self.payload: Any = None
+        #: Matched source rank (receives).
+        self.source: Optional[int] = None
+        #: Matched tag (receives).
+        self.tag: Optional[int] = None
+        #: Matched message size in bytes (receives).
+        self.size: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self.posted_at: int = env.now
+        self.completed_at: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation has finished (NIC-visible state)."""
+        return self.done.triggered
+
+    def _finish(self) -> None:
+        self.completed_at = self.env.now
+        self.done.succeed(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.complete else "pending"
+        return f"<BcsRequest {self.kind} {state}>"
+
+
+def payload_nbytes(payload: Any, declared: Optional[int] = None) -> int:
+    """Size in bytes of a message payload.
+
+    numpy arrays and scalars report their buffer size; ``bytes`` its
+    length; None falls back to the declared size (pure-timing messages);
+    any other Python object is sized by its pickled representation (the
+    mpi4py lowercase-method convention).
+    """
+    if declared is not None:
+        return declared
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, np.generic):
+        return payload.dtype.itemsize
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if payload is None:
+        return 0
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    import pickle
+
+    return len(pickle.dumps(payload))
+
+
+@dataclass
+class SendDescriptor:
+    """A posted send (blocking or not — the NIC treats them alike)."""
+
+    job_id: int
+    comm_id: int
+    src_rank: int
+    dst_rank: int
+    tag: int
+    size: int
+    request: BcsRequest
+    payload: Any = None
+    #: Per (job, comm, src, dst) monotonic counter: MPI non-overtaking order.
+    seq: int = 0
+    posted_at: int = 0
+    desc_id: int = field(default_factory=lambda: next(_desc_ids))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Send j{self.job_id} {self.src_rank}->{self.dst_rank} "
+            f"tag={self.tag} size={self.size} seq={self.seq}>"
+        )
+
+
+@dataclass
+class RecvDescriptor:
+    """A posted receive with (source, tag) matching criteria."""
+
+    job_id: int
+    comm_id: int
+    rank: int
+    src_rank: int  # may be ANY_SOURCE
+    tag: int  # may be ANY_TAG
+    capacity: int
+    request: BcsRequest
+    posted_at: int = 0
+    desc_id: int = field(default_factory=lambda: next(_desc_ids))
+
+    def matches(self, send: "SendDescriptor") -> bool:
+        """MPI matching rule against an arrived send descriptor."""
+        if send.job_id != self.job_id or send.comm_id != self.comm_id:
+            return False
+        if send.dst_rank != self.rank:
+            return False
+        if self.src_rank != ANY_SOURCE and send.src_rank != self.src_rank:
+            return False
+        if self.tag != ANY_TAG and send.tag != self.tag:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<Recv j{self.job_id} rank={self.rank} from={self.src_rank} "
+            f"tag={self.tag}>"
+        )
+
+
+@dataclass
+class CollectiveDescriptor:
+    """A posted collective operation (barrier / bcast / reduce)."""
+
+    job_id: int
+    comm_id: int
+    kind: str  # "barrier" | "bcast" | "reduce" | "allreduce"
+    rank: int
+    root: int
+    #: Per (job, comm) collective sequence number; drives the CaW flag check.
+    epoch: int
+    request: BcsRequest
+    op: Optional[str] = None
+    size: int = 0
+    payload: Any = None
+    posted_at: int = 0
+    desc_id: int = field(default_factory=lambda: next(_desc_ids))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Coll {self.kind} j{self.job_id} rank={self.rank} "
+            f"epoch={self.epoch} root={self.root}>"
+        )
+
+
+@dataclass
+class Match:
+    """A matched send/recv pair being moved by the DMA Helper.
+
+    Built by the Buffer Receiver in the Message Scheduling Microphase; if
+    the message exceeds the slice budget it is *chunked* and carried over
+    multiple slices (paper §4.3).
+    """
+
+    send: SendDescriptor
+    recv: RecvDescriptor
+    src_node: int
+    dst_node: int
+    total_bytes: int
+    bytes_done: int = 0
+    #: Bytes granted for the current slice by the MSM scheduler.
+    scheduled_now: int = 0
+    #: True for system-level traffic (parallel file system, migration):
+    #: scheduled into whatever budget user traffic leaves over — the
+    #: QoS guarantee a single global scheduler provides (paper §1).
+    system: bool = False
+
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet transferred."""
+        return self.total_bytes - self.bytes_done
+
+    @property
+    def finished(self) -> bool:
+        """True once every byte has moved."""
+        return self.bytes_done >= self.total_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Match {self.send.src_rank}->{self.recv.rank} "
+            f"{self.bytes_done}/{self.total_bytes}B>"
+        )

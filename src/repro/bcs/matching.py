@@ -1,0 +1,79 @@
+"""MPI message matching, as performed by the Buffer Receiver.
+
+During the Message Scheduling Microphase the BR "matches the remote send
+descriptor list against the local receive descriptor list" (paper §4.3).
+This module implements that matcher with full MPI semantics:
+
+- (source, tag) matching with ``ANY_SOURCE`` / ``ANY_TAG`` wildcards,
+- the non-overtaking rule: two sends on the same (comm, src, dst) pair
+  match receives in the order they were posted,
+- truncation detection when a matched message exceeds the receive buffer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.errors import SimError
+from .descriptors import Match, RecvDescriptor, SendDescriptor
+
+
+class TruncationError(SimError):
+    """A matched message is larger than the posted receive buffer."""
+
+
+class Matcher:
+    """Per-node matcher holding the unexpected and posted queues."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        #: Arrived send descriptors not yet matched (arrival order).
+        self.unexpected: List[SendDescriptor] = []
+        #: Posted receive descriptors not yet matched (post order).
+        self.posted: List[RecvDescriptor] = []
+
+    # -- queue feeds -----------------------------------------------------------
+
+    def add_send(self, send: SendDescriptor) -> Optional[Match]:
+        """An arrived send descriptor: match or park as unexpected."""
+        for i, recv in enumerate(self.posted):
+            if recv.matches(send):
+                del self.posted[i]
+                return self._pair(send, recv)
+        self.unexpected.append(send)
+        return None
+
+    def add_recv(self, recv: RecvDescriptor) -> Optional[Match]:
+        """A posted receive: match the earliest arrived send, or park."""
+        for i, send in enumerate(self.unexpected):
+            if recv.matches(send):
+                del self.unexpected[i]
+                return self._pair(send, recv)
+        self.posted.append(recv)
+        return None
+
+    # -- internals ----------------------------------------------------------------
+
+    def _pair(self, send: SendDescriptor, recv: RecvDescriptor) -> Match:
+        if send.size > recv.capacity:
+            raise TruncationError(
+                f"message of {send.size} B from rank {send.src_rank} "
+                f"(tag {send.tag}) exceeds the {recv.capacity} B receive "
+                f"buffer of rank {recv.rank}"
+            )
+        return Match(
+            send=send,
+            recv=recv,
+            src_node=-1,  # filled in by the runtime, which knows placement
+            dst_node=self.node_id,
+            total_bytes=send.size,
+        )
+
+    @property
+    def pending_counts(self) -> tuple[int, int]:
+        """(unexpected sends, posted receives) still queued."""
+        return len(self.unexpected), len(self.posted)
+
+    def __repr__(self) -> str:
+        u, p = self.pending_counts
+        return f"<Matcher node={self.node_id} unexpected={u} posted={p}>"

@@ -1,0 +1,464 @@
+"""The BCS-MPI runtime: wiring the whole machine together.
+
+A :class:`BcsRuntime` owns, for one cluster:
+
+- the BCS core primitive layer (:class:`repro.core.BcsCore`),
+- one :class:`~repro.bcs.threads.NodeRuntime` (+ BS/BR/DH/CH/RH NIC
+  threads, Strobe Receiver and Node Manager) per compute node,
+- the Strobe Sender on the management node (the Machine Manager's NIC
+  thread),
+- the global slice scheduler and job/communicator registries.
+
+Jobs are launched with :meth:`launch`; each rank runs as a simulation
+process whose MPI calls go through the BCS API.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from ..core import BcsCore
+from ..network import Cluster
+from ..storm.job import Job, JobSpec, block_placement
+from .config import BcsConfig
+from .node_manager import NodeManager
+from .scheduler import SliceScheduler
+from .strobe import StrobeReceiver, StrobeSender
+from .threads import (
+    BufferReceiver,
+    BufferSender,
+    CollectiveHelper,
+    DmaHelper,
+    NodeRuntime,
+    ReduceHelper,
+)
+
+
+class CommInfo:
+    """One communicator's mapping onto the machine.
+
+    Ranks inside descriptors are communicator-relative; this object maps
+    them to world ranks and nodes.  The world communicator of a job is
+    always ``comm_id == 0``.
+    """
+
+    def __init__(self, job: Job, comm_id: int, world_ranks: Sequence[int]):
+        self.job = job
+        self.comm_id = comm_id
+        self.world_ranks = list(world_ranks)
+        if len(set(self.world_ranks)) != len(self.world_ranks):
+            raise ValueError("duplicate ranks in communicator")
+        #: comm ranks hosted on each node.
+        self.node_ranks: Dict[int, List[int]] = {}
+        for crank, wrank in enumerate(self.world_ranks):
+            node = job.placement[wrank]
+            self.node_ranks.setdefault(node, []).append(crank)
+        self.nodes = sorted(self.node_ranks)
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self.world_ranks)
+
+    def node_of(self, comm_rank: int) -> int:
+        """Node hosting a communicator-relative rank."""
+        return self.job.placement[self.world_ranks[comm_rank]]
+
+    @property
+    def root_node(self) -> int:
+        """Node of the communicator's rank 0 (its master process)."""
+        return self.node_of(0)
+
+    def __repr__(self) -> str:
+        return f"<CommInfo job={self.job.id} comm={self.comm_id} size={self.size}>"
+
+
+class NodeAgents:
+    """The five NIC threads plus the Node Manager of one node."""
+
+    def __init__(self, nrt: NodeRuntime):
+        self.bs = BufferSender(nrt)
+        self.br = BufferReceiver(nrt)
+        self.dh = DmaHelper(nrt)
+        self.ch = CollectiveHelper(nrt)
+        self.rh = ReduceHelper(nrt)
+        self.nm = NodeManager(nrt)
+
+
+class RankHandle:
+    """Runtime-side state of one application process (one rank)."""
+
+    def __init__(self, runtime: "BcsRuntime", job: Job, world_rank: int):
+        self.runtime = runtime
+        self.job = job
+        self.world_rank = world_rank
+        self.node_id = job.placement[world_rank]
+        self.nrt = runtime.node_rt(self.node_id)
+        self.nm = runtime.agents[self.node_id].nm
+        #: Per-(comm_id, dst) send sequence counters (non-overtaking order).
+        self.send_seq: Dict[tuple, int] = {}
+        #: Per-comm_id collective epoch counters.
+        self.coll_seq: Dict[int, int] = {}
+        #: Host-call overhead accumulated since the last yield point.
+        self.pending_overhead = 0
+
+    def next_send_seq(self, comm_id: int, dst: int) -> int:
+        key = (comm_id, dst)
+        seq = self.send_seq.get(key, 0)
+        self.send_seq[key] = seq + 1
+        return seq
+
+    def next_epoch(self, comm_id: int) -> int:
+        epoch = self.coll_seq.get(comm_id, 0) + 1
+        self.coll_seq[comm_id] = epoch
+        return epoch
+
+    def take_overhead(self) -> int:
+        t, self.pending_overhead = self.pending_overhead, 0
+        return t
+
+    def __repr__(self) -> str:
+        return f"<RankHandle job={self.job.id} rank={self.world_rank}>"
+
+
+class BcsRuntime:
+    """The buffered-coscheduled MPI runtime for one cluster."""
+
+    def __init__(self, cluster: Cluster, config: Optional[BcsConfig] = None):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config or BcsConfig()
+        self.core = BcsCore(cluster)
+        self.scheduler = SliceScheduler(self.config, cluster.spec.model.link_bandwidth)
+
+        self.node_runtimes: List[NodeRuntime] = [
+            NodeRuntime(self, node.id) for node in cluster.compute_nodes
+        ]
+        self.agents: Dict[int, NodeAgents] = {
+            nrt.node_id: NodeAgents(nrt) for nrt in self.node_runtimes
+        }
+        self.receivers: Dict[int, StrobeReceiver] = {
+            nrt.node_id: StrobeReceiver(nrt) for nrt in self.node_runtimes
+        }
+        self.ss = StrobeSender(self)
+
+        self.jobs: Dict[int, Job] = {}
+        #: Per-job usage counters (cpu_ns, blocked_ns, messages, bytes,
+        #: collectives) — STORM's accounting role (paper §1).
+        self.job_stats: Dict[int, Counter] = {}
+        self.comms: Dict[tuple, CommInfo] = {}
+        self._comm_by_members: Dict[tuple, CommInfo] = {}
+        #: Live rank processes: (job_id, rank) -> sim Process (for
+        #: failure injection / fault tolerance).
+        self.rank_procs: Dict[tuple, object] = {}
+        self.slice_no = 0
+        self.stopped = False
+        self.stats: Counter = Counter()
+        #: Nodes hosting at least one rank of any job (strobe targets).
+        self.active_node_ids: List[int] = []
+        #: Hooks invoked at every slice boundary with the new slice number
+        #: (gang scheduler, instrumentation, ...).
+        self.on_slice_start: List = []
+
+    # -- registry ------------------------------------------------------------------
+
+    def node_rt(self, node_id: int) -> NodeRuntime:
+        """NodeRuntime by node id."""
+        return self.node_runtimes[node_id]
+
+    def comm_info(self, job_id: int, comm_id: int) -> CommInfo:
+        """Communicator metadata."""
+        return self.comms[(job_id, comm_id)]
+
+    def register_comm(self, job: Job, world_ranks: Sequence[int]) -> CommInfo:
+        """Create (or fetch) the communicator over a subset of a job's ranks.
+
+        Every member rank calls split() independently; deduplication by
+        member set makes them all land on the same communicator, the way
+        a real MPI_Comm_split agrees collectively.
+        """
+        member_key = (job.id, tuple(world_ranks))
+        existing = self._comm_by_members.get(member_key)
+        if existing is not None:
+            return existing
+        comm_id = sum(1 for key in self.comms if key[0] == job.id)
+        info = CommInfo(job, comm_id, world_ranks)
+        self.comms[(job.id, comm_id)] = info
+        self._comm_by_members[member_key] = info
+        return info
+
+    # -- job lifecycle ------------------------------------------------------------------
+
+    def launch(self, spec: JobSpec, placement: Optional[List[int]] = None) -> Job:
+        """Start a job: STORM-style gang launch of one process per rank.
+
+        Each rank pays the one-time BCS runtime initialization cost, then
+        starts executing at a slice boundary.
+        """
+        if placement is None:
+            placement = block_placement(
+                spec.n_ranks,
+                self.cluster.n_compute_nodes,
+                self.cluster.spec.cpus_per_node,
+            )
+        job = Job(self.env, spec, placement)
+        job.started_at = self.env.now
+        self.jobs[job.id] = job
+        self.job_stats[job.id] = Counter()
+        self.register_comm(job, range(spec.n_ranks))  # comm 0 = world
+        self.active_node_ids = sorted(
+            set(self.active_node_ids) | set(job.nodes)
+        )
+        self.stopped = False
+        self.ss.start()
+
+        from ..mpi.bcs_backend import BcsCommunicator  # avoid import cycle
+        from ..mpi.context import AppContext
+
+        for rank in range(spec.n_ranks):
+            handle = RankHandle(self, job, rank)
+            comm = BcsCommunicator(self, handle, self.comm_info(job.id, 0), rank)
+            ctx = AppContext(
+                self.env,
+                comm,
+                handle.node_id,
+                compute_fn=self._make_compute(handle),
+                job=job,
+                params=spec.params,
+            )
+            proc = self.env.process(
+                self._rank_body(job, rank, ctx, handle),
+                name=f"{spec.name}.r{rank}",
+            )
+            self.rank_procs[(job.id, rank)] = proc
+        return job
+
+    def _make_compute(self, handle: RankHandle):
+        def compute(node_id: int, duration: int):
+            overhead = handle.take_overhead()
+            yield from handle.nm.compute(handle.job.id, duration + overhead)
+
+        return compute
+
+    def _rank_body(self, job: Job, rank: int, ctx, handle: RankHandle):
+        from ..sim.errors import Interrupt
+
+        try:
+            if self.config.init_cost:
+                yield self.env.timeout(self.config.init_cost)
+            # Processes start executing at a slice boundary (gang launch).
+            yield handle.nrt.slice_start.wait()
+            result = yield from job.spec.app(ctx, **job.spec.params)
+        except Interrupt as intr:
+            # Killed by failure injection: the job is torn down.
+            self.stats["ranks_killed"] += 1
+            job.mark_failed(intr.cause)
+            return
+        finally:
+            self.rank_procs.pop((job.id, rank), None)
+        job.rank_finished(rank, result)
+
+    def run_job(
+        self,
+        spec: JobSpec,
+        placement: Optional[List[int]] = None,
+        max_time: Optional[int] = None,
+    ) -> Job:
+        """Launch a job and run the simulation until it completes.
+
+        ``max_time`` (ns of simulated time) is a watchdog: an application
+        deadlock (e.g. an unmatched blocking send) would otherwise spin
+        the strobe loop forever.
+        """
+        job = self.launch(spec, placement)
+        if max_time is None:
+            self.env.run(until=job.done)
+        else:
+            self.env.run(until=self.env.any_of([job.done, self.env.timeout(max_time)]))
+            if not job.complete:
+                from ..debug.diagnostics import diagnose
+
+                raise RuntimeError(
+                    f"job {spec.name!r} did not finish within {max_time} ns "
+                    "(likely an application communication deadlock).\n"
+                    f"stall diagnosis:\n{diagnose(self)}"
+                )
+        return job
+
+    def stop(self) -> None:
+        """Ask the Strobe Sender to stop at the next slice boundary."""
+        self.stopped = True
+
+    def idle(self) -> bool:
+        """Nothing left to do: no running jobs (failed count as
+        terminal) and no backlog (e.g. system/PFS transfers)."""
+        return (
+            all(job.terminal for job in self.jobs.values()) and not self.any_work()
+        )
+
+    def kill_job(self, job: Job, cause: str = "failure") -> None:
+        """Tear a job down: interrupt every live rank now, purge its
+        runtime state at the next slice boundary.
+
+        The deferral is the paper's checkpointing insight in action: in
+        the middle of a slice, NIC threads may be blocked on partner
+        events of an in-flight collective, and yanking that state would
+        wedge the microphase barrier.  At the slice boundary the global
+        communication state is consistent and can be dropped wholesale.
+        """
+        job.mark_failed(cause)
+        for (job_id, rank), proc in list(self.rank_procs.items()):
+            if job_id == job.id and proc.is_alive and proc.target is not None:
+                proc.interrupt(cause)
+
+        def purge_hook(_slice_no):
+            self.purge_job(job.id)
+            self.on_slice_start.remove(purge_hook)
+
+        self.on_slice_start.append(purge_hook)
+
+    def purge_job(self, job_id: int) -> None:
+        """Drop every trace of a job from the runtime's queues.
+
+        Used after a failure so a relaunched instance starts from clean
+        communication state (the paper's checkpointing rationale: at a
+        slice boundary the global communication state is known, so it
+        can be discarded and rebuilt consistently).
+        """
+
+        def keep(desc) -> bool:
+            return desc.job_id != job_id
+
+        for nrt in self.node_runtimes:
+            nrt.posted_sends = [d for d in nrt.posted_sends if keep(d)]
+            nrt.posted_recvs = [d for d in nrt.posted_recvs if keep(d)]
+            nrt.posted_colls = [d for d in nrt.posted_colls if keep(d)]
+            nrt.arrived_sends = [d for d in nrt.arrived_sends if keep(d)]
+            nrt.new_matches = [m for m in nrt.new_matches if keep(m.send)]
+            nrt.matcher.unexpected = [d for d in nrt.matcher.unexpected if keep(d)]
+            nrt.matcher.posted = [d for d in nrt.matcher.posted if keep(d)]
+            dropped = [
+                key for key in nrt.coll_state if key[0] == job_id
+            ]
+            for key in dropped:
+                nrt.pending_epochs -= sum(
+                    0 if ep.executed else 1 for ep in nrt.coll_state[key].values()
+                )
+                del nrt.coll_state[key]
+            nrt.reduce_inbox = {
+                k: v for k, v in nrt.reduce_inbox.items() if k[0] != job_id
+            }
+        self.scheduler.in_flight = [
+            m for m in self.scheduler.in_flight if keep(m.send)
+        ]
+        self.stats["jobs_purged"] += 1
+
+    # -- slice coordination hooks (called by the Strobe Sender) -------------------------
+
+    def any_work(self) -> bool:
+        """Anything at all for this slice's microphases?"""
+        return bool(self.scheduler.in_flight) or any(
+            nrt.has_work() for nrt in self.node_runtimes
+        )
+
+    def dem_nodes(self) -> List[int]:
+        """Nodes with descriptors to drain/exchange."""
+        return [
+            nrt.node_id
+            for nrt in self.node_runtimes
+            if nrt.posted_sends or nrt.posted_recvs or nrt.posted_colls
+        ]
+
+    def msm_nodes(self) -> List[int]:
+        """Nodes with arrived sends to match or collectives to schedule."""
+        out = []
+        for nrt in self.node_runtimes:
+            if nrt.arrived_sends:
+                out.append(nrt.node_id)
+                continue
+            for (job_id, comm_id), epochs in nrt.coll_state.items():
+                info = self.comm_info(job_id, comm_id)
+                if info.root_node != nrt.node_id:
+                    continue
+                nxt = nrt.sched_flag.get((job_id, comm_id), 0) + 1
+                ep = epochs.get(nxt)
+                if ep is not None and not ep.scheduled and ep.descs:
+                    out.append(nrt.node_id)
+                    break
+        return out
+
+    def _nodes_with_scheduled(self, kinds: tuple, driver_only: bool) -> List[int]:
+        out = set()
+        for nrt in self.node_runtimes:
+            for (job_id, comm_id), epochs in nrt.coll_state.items():
+                info = self.comm_info(job_id, comm_id)
+                for epoch, ep in epochs.items():
+                    if ep.executed or ep.kind not in kinds:
+                        continue
+                    if not self.core.gas.read(
+                        nrt.node_id, ("go", job_id, comm_id, epoch), False
+                    ):
+                        continue
+                    if driver_only:
+                        root = ep.root or 0
+                        if info.node_of(root) == nrt.node_id:
+                            out.add(nrt.node_id)
+                    else:
+                        out.add(nrt.node_id)
+        return sorted(out)
+
+    def bbm_nodes(self) -> List[int]:
+        """Nodes driving a scheduled barrier/broadcast this slice."""
+        return self._nodes_with_scheduled(("barrier", "bcast"), driver_only=True)
+
+    def rm_nodes(self) -> List[int]:
+        """Nodes participating in a scheduled reduce this slice."""
+        return self._nodes_with_scheduled(("reduce", "allreduce"), driver_only=False)
+
+    def global_schedule(self):
+        """Collect MSM matches and grant this slice's chunks."""
+        for nrt in self.node_runtimes:
+            if nrt.new_matches:
+                self.scheduler.add_matches(nrt.new_matches)
+                nrt.new_matches = []
+        return self.scheduler.schedule_slice()
+
+    def communication_state(self) -> dict:
+        """Snapshot of the global communication state.
+
+        The paper's §1 argument made concrete: "the fact that the
+        communication state of all processes is known at the beginning
+        of every time slice facilitates the implementation of
+        checkpointing and debugging mechanisms."  At a slice boundary
+        this dictionary *is* that state — everything in flight, per
+        node, plus the scheduler backlog.  Deterministic runs produce
+        identical snapshots at identical slices.
+        """
+        per_node = {}
+        for nrt in self.node_runtimes:
+            unexpected, posted = nrt.matcher.pending_counts
+            entry = {
+                "posted_sends": len(nrt.posted_sends),
+                "posted_recvs": len(nrt.posted_recvs),
+                "posted_collectives": len(nrt.posted_colls),
+                "arrived_sends": len(nrt.arrived_sends),
+                "unexpected": unexpected,
+                "pending_recvs": posted,
+                "pending_coll_epochs": nrt.pending_epochs,
+            }
+            if any(entry.values()):
+                per_node[nrt.node_id] = entry
+        return {
+            "time": self.env.now,
+            "slice": self.slice_no,
+            "nodes": per_node,
+            "in_flight_matches": len(self.scheduler.in_flight),
+            "backlog_bytes": self.scheduler.backlog_bytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<BcsRuntime slice={self.slice_no} jobs={len(self.jobs)} "
+            f"t={self.env.now}>"
+        )

@@ -1,0 +1,179 @@
+"""The global synchronization protocol (paper §4.2, Figure 5).
+
+The **Strobe Sender** (SS), a NIC thread on the management node, drives
+every time slice: it multicasts a *microstrobe* at the beginning of each
+microphase, and before moving on checks that all nodes completed the
+current microphase with a ``Compare-And-Write``.  The **Strobe Receiver**
+(SR) on each compute node wakes the local NIC threads that must be active
+in the new microphase and reports completion through global memory.
+
+Slice structure (Figure 5):
+
+    [ DEM | MSM ]  [ P2P | BBM | RM ]
+    global message scheduling   message transmission
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from ..sim import Event, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import BcsRuntime
+    from .threads import NodeRuntime
+
+#: Microphase names, in slice order.
+DEM, MSM, P2P, BBM, RM = "DEM", "MSM", "P2P", "BBM", "RM"
+MICROPHASES = (DEM, MSM, P2P, BBM, RM)
+
+
+@dataclass
+class Strobe:
+    """One microstrobe delivered to a Strobe Receiver."""
+
+    phase: str
+    slice_no: int
+    payload: Any
+    done: Event
+
+
+class StrobeReceiver:
+    """SR: per-node dispatcher waking NIC threads per microphase."""
+
+    def __init__(self, nrt: "NodeRuntime"):
+        self.nrt = nrt
+        self.inbox = Store(nrt.env, name=f"sr{nrt.node_id}")
+        self.completed_phases = 0
+        self._proc = nrt.env.process(self._run(), name=f"SR{nrt.node_id}")
+
+    def _run(self):
+        nrt = self.nrt
+        agents = nrt.runtime.agents[nrt.node_id]
+        handlers = {
+            DEM: lambda s: self._dem(agents),
+            MSM: lambda s: agents.br.msm_phase(),
+            P2P: lambda s: agents.dh.p2p_phase(s.payload),
+            BBM: lambda s: agents.ch.bbm_phase(),
+            RM: lambda s: agents.rh.rm_phase(),
+        }
+        while True:
+            strobe = yield self.inbox.get()
+            if strobe.phase == "STOP":
+                strobe.done.succeed(None)
+                return
+            yield from handlers[strobe.phase](strobe)
+            self.completed_phases += 1
+            # Report completion in global memory; the SS's
+            # Compare-And-Write tests this counter.
+            nrt.runtime.core.gas.write(
+                nrt.node_id, "mphase_done", self.completed_phases
+            )
+            strobe.done.succeed(None)
+
+    def _dem(self, agents):
+        yield from agents.bs.dem_phase()
+        yield from agents.br.dem_phase()
+
+
+class StrobeSender:
+    """SS: the management-node NIC thread driving the slice machine."""
+
+    def __init__(self, runtime: "BcsRuntime"):
+        self.runtime = runtime
+        self.env = runtime.env
+        self._proc = None
+
+    def start(self) -> None:
+        """Launch the strobe loop (idempotent)."""
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(self._run(), name="SS")
+
+    def _run(self):
+        runtime = self.runtime
+        cfg = runtime.config
+        env = self.env
+        mins = {DEM: cfg.dem_min_duration, MSM: cfg.msm_min_duration}
+
+        while not runtime.stopped:
+            start = env.now
+            runtime.slice_no += 1
+            runtime.stats["slices"] += 1
+            for nrt in runtime.node_runtimes:
+                nrt.begin_slice(start)
+            # Snapshot: hooks may deregister themselves while running.
+            for hook in list(runtime.on_slice_start):
+                hook(runtime.slice_no)
+            # Slice boundary: the NM restarts processes whose blocking
+            # operations completed during the previous slice.
+            for nrt in runtime.node_runtimes:
+                nrt.slice_start.pulse(runtime.slice_no)
+
+            if runtime.any_work():
+                runtime.stats["active_slices"] += 1
+                yield from self._microphase(DEM, runtime.dem_nodes(), mins[DEM])
+                yield from self._microphase(MSM, runtime.msm_nodes(), mins[MSM])
+                granted = runtime.global_schedule()
+                yield from self._microphase(
+                    P2P, sorted({m.dst_node for m in granted}), 0, payload=granted
+                )
+                runtime.scheduler.retire_finished()
+                yield from self._microphase(BBM, runtime.bbm_nodes(), 0)
+                yield from self._microphase(RM, runtime.rm_nodes(), 0)
+
+            elapsed = env.now - start
+            if elapsed < cfg.timeslice:
+                yield env.timeout(cfg.timeslice - elapsed)
+            else:
+                runtime.stats["slice_overruns"] += 1
+            if cfg.auto_stop and runtime.idle():
+                return
+
+    def _microphase(self, phase: str, nodes: List[int], min_duration: int, payload=None):
+        """Strobe, dispatch, await completion, CaW-confirm, pad.
+
+        ``nodes`` is the set with actual work; nodes outside it would run
+        an empty handler and complete at strobe time, so they are not
+        simulated (the strobe itself is still a full multicast).
+        """
+        runtime = self.runtime
+        env = self.env
+        t0 = env.now
+        mgmt = runtime.cluster.management_node.id
+
+        # Microstrobe: Xfer-And-Signal to every compute node's SR.
+        yield from runtime.cluster.fabric.control_multicast(
+            mgmt, runtime.active_node_ids, runtime.config.strobe_bytes
+        )
+
+        if nodes:
+            done_events = []
+            for node_id in nodes:
+                ev = env.event(name=f"{phase}:{node_id}")
+                runtime.receivers[node_id].inbox.put(
+                    Strobe(phase, runtime.slice_no, payload, ev)
+                )
+                done_events.append(ev)
+            yield env.all_of(done_events)
+            # SS verifies global completion with a Compare-And-Write on
+            # the per-node microphase counters.
+            yield from runtime.core.compare_and_write(
+                mgmt, nodes, "mphase_done", ">=", 0, default=0
+            )
+
+        pad = min_duration - (env.now - t0)
+        if pad > 0:
+            yield env.timeout(pad)
+
+        trace = runtime.cluster.trace
+        if trace.enabled_for("bcs.microphase"):
+            trace.emit(
+                env.now,
+                "bcs.microphase",
+                slice=runtime.slice_no,
+                phase=phase,
+                start=t0,
+                duration=env.now - t0,
+                nodes=len(nodes),
+            )

@@ -1,0 +1,180 @@
+"""Protocol invariant checking from traces.
+
+The BCS protocol makes strong structural promises: microphases run in
+DEM → MSM → P2P → BBM → RM order within each slice, the scheduling
+phase respects its minimum budget, point-to-point payload moves only
+inside the point-to-point microphase, and slice boundaries are strict
+multiples of the time slice.  :class:`ProtocolValidator` re-derives all
+of that from a trace and reports violations — used by the property
+tests to assert that *any* workload drives the machine correctly.
+
+Capture both categories when building the cluster::
+
+    trace = Trace(categories=["bcs.microphase", "fabric.unicast"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..sim import Trace
+from .strobe import MICROPHASES
+
+_PHASE_INDEX = {p: i for i, p in enumerate(MICROPHASES)}
+
+
+@dataclass
+class Violation:
+    """One broken invariant."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+class ProtocolValidator:
+    """Validates slice-machine invariants recorded in a trace."""
+
+    def __init__(self, trace: Trace, timeslice: int, scheduling_min: int = 0):
+        self.trace = trace
+        self.timeslice = timeslice
+        self.scheduling_min = scheduling_min
+        #: slice_no -> list of (phase, start, end)
+        self.phases: Dict[int, List[Tuple[str, int, int]]] = {}
+        for rec in trace.by_category("bcs.microphase"):
+            self.phases.setdefault(rec.fields["slice"], []).append(
+                (
+                    rec.fields["phase"],
+                    rec.fields["start"],
+                    rec.fields["start"] + rec.fields["duration"],
+                )
+            )
+        for spans in self.phases.values():
+            spans.sort(key=lambda s: s[1])
+
+    # -- individual checks --------------------------------------------------------
+
+    def check_phase_order(self) -> List[Violation]:
+        """Microphases appear in protocol order and never overlap."""
+        out = []
+        for slice_no, spans in self.phases.items():
+            indices = [_PHASE_INDEX[p] for p, _, _ in spans]
+            if indices != sorted(indices):
+                out.append(
+                    Violation(
+                        "phase-order",
+                        f"slice {slice_no}: phases {[p for p, _, _ in spans]}",
+                    )
+                )
+            for (_, _, end_a), (_, start_b, _) in zip(spans, spans[1:]):
+                if start_b < end_a:
+                    out.append(
+                        Violation(
+                            "phase-overlap",
+                            f"slice {slice_no}: next phase starts at {start_b} "
+                            f"before previous ends at {end_a}",
+                        )
+                    )
+        return out
+
+    def check_slice_alignment(self) -> List[Violation]:
+        """The first microphase of a slice starts at a slice boundary
+        (modulo the strobe delivery latency, bounded by one slice)."""
+        out = []
+        for slice_no, spans in self.phases.items():
+            first_start = spans[0][1]
+            offset = first_start % self.timeslice
+            if offset > self.timeslice // 2:
+                out.append(
+                    Violation(
+                        "slice-alignment",
+                        f"slice {slice_no}: DEM starts {offset} ns past a boundary",
+                    )
+                )
+        return out
+
+    def check_scheduling_budget(self) -> List[Violation]:
+        """DEM+MSM meet the configured minimum in every active slice."""
+        out = []
+        if not self.scheduling_min:
+            return out
+        for slice_no, spans in self.phases.items():
+            sched = sum(end - start for p, start, end in spans if p in ("DEM", "MSM"))
+            have_both = {p for p, _, _ in spans} >= {"DEM", "MSM"}
+            if have_both and sched < self.scheduling_min:
+                out.append(
+                    Violation(
+                        "scheduling-budget",
+                        f"slice {slice_no}: DEM+MSM = {sched} < {self.scheduling_min}",
+                    )
+                )
+        return out
+
+    def check_p2p_containment(self) -> List[Violation]:
+        """Bulk p2p transfers complete inside a P2P microphase."""
+        out = []
+        p2p_windows: List[Tuple[int, int]] = [
+            (start, end)
+            for spans in self.phases.values()
+            for p, start, end in spans
+            if p == "P2P"
+        ]
+        for rec in self.trace.by_category("fabric.unicast"):
+            if rec.fields.get("label") != "p2p":
+                continue
+            done = rec.time
+            if not any(start <= done <= end for start, end in p2p_windows):
+                out.append(
+                    Violation(
+                        "p2p-outside-phase",
+                        f"transfer {rec.fields['src']}->{rec.fields['dst']} "
+                        f"completed at {done} outside every P2P microphase",
+                    )
+                )
+        return out
+
+    def check_descriptor_containment(self) -> List[Violation]:
+        """Descriptor exchanges complete inside a DEM microphase."""
+        out = []
+        dem_windows = [
+            (start, end)
+            for spans in self.phases.values()
+            for p, start, end in spans
+            if p == "DEM"
+        ]
+        for rec in self.trace.by_category("fabric.unicast"):
+            if rec.fields.get("label") != "desc":
+                continue
+            done = rec.time
+            if not any(start <= done <= end for start, end in dem_windows):
+                out.append(
+                    Violation(
+                        "desc-outside-dem",
+                        f"descriptor to node {rec.fields['dst']} delivered at "
+                        f"{done} outside every DEM microphase",
+                    )
+                )
+        return out
+
+    # -- aggregate ---------------------------------------------------------------------
+
+    def validate(self) -> List[Violation]:
+        """Run every check; returns all violations (empty = clean)."""
+        out: List[Violation] = []
+        out += self.check_phase_order()
+        out += self.check_slice_alignment()
+        out += self.check_scheduling_budget()
+        out += self.check_p2p_containment()
+        out += self.check_descriptor_containment()
+        return out
+
+    def assert_clean(self) -> None:
+        """Raise AssertionError listing violations, if any."""
+        violations = self.validate()
+        if violations:
+            raise AssertionError(
+                "protocol violations:\n" + "\n".join(str(v) for v in violations)
+            )

@@ -1,0 +1,7 @@
+"""The BCS core primitives (paper §2): the three-function abstraction layer
+all system software is built on."""
+
+from .global_memory import GlobalAddressSpace, MemoryRegion
+from .primitives import COMPARE_OPS, BcsCore
+
+__all__ = ["BcsCore", "COMPARE_OPS", "GlobalAddressSpace", "MemoryRegion"]

@@ -1,0 +1,71 @@
+"""Global memory: data at the same virtual address on all nodes.
+
+The BCS core primitives operate on *global data*: "data at the same
+virtual address on all nodes" (paper §2).  We model virtual addresses as
+symbolic keys.  Each node has a :class:`MemoryRegion`; a
+:class:`GlobalAddressSpace` groups the per-node regions of one machine so
+primitives can write "the variable ``x`` on nodes {2,5,7}".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List
+
+
+class MemoryRegion:
+    """One node's slice of the global address space."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._mem: Dict[Hashable, Any] = {}
+
+    def read(self, addr: Hashable, default: Any = None) -> Any:
+        """Read the value at ``addr`` (default if never written)."""
+        return self._mem.get(addr, default)
+
+    def write(self, addr: Hashable, value: Any) -> None:
+        """Write ``value`` at ``addr``."""
+        self._mem[addr] = value
+
+    def contains(self, addr: Hashable) -> bool:
+        """Whether ``addr`` has ever been written on this node."""
+        return addr in self._mem
+
+    def __repr__(self) -> str:
+        return f"<MemoryRegion node={self.node_id} vars={len(self._mem)}>"
+
+
+class GlobalAddressSpace:
+    """The union of all nodes' memory regions."""
+
+    def __init__(self, n_nodes: int):
+        self.regions: List[MemoryRegion] = [MemoryRegion(i) for i in range(n_nodes)]
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def region(self, node_id: int) -> MemoryRegion:
+        """The memory region of one node."""
+        return self.regions[node_id]
+
+    def read(self, node_id: int, addr: Hashable, default: Any = None) -> Any:
+        """Read ``addr`` on one node."""
+        return self.regions[node_id].read(addr, default)
+
+    def write(self, node_id: int, addr: Hashable, value: Any) -> None:
+        """Write ``addr`` on one node."""
+        self.regions[node_id].write(addr, value)
+
+    def write_all(self, node_ids: Iterable[int], addr: Hashable, value: Any) -> None:
+        """Write the same value at ``addr`` on a set of nodes (atomically).
+
+        This is the commit step of ``Xfer-And-Signal``/``Compare-And-Write``:
+        either all nodes see the value or none do — we model network errors
+        as absent, so "all".
+        """
+        for nid in node_ids:
+            self.regions[nid].write(addr, value)
+
+    def gather(self, node_ids: Iterable[int], addr: Hashable, default: Any = None) -> list:
+        """Read ``addr`` on each of ``node_ids`` (for conditionals)."""
+        return [self.regions[nid].read(addr, default) for nid in node_ids]

@@ -1,0 +1,132 @@
+"""Deterministic-replay debugging.
+
+Paper §1: "the communication state of all processes is known at the
+beginning of every time slice [which] facilitates the implementation of
+checkpointing and debugging mechanisms."  Because this runtime is
+bit-deterministic, the strongest debugging primitive is *replay
+comparison*: record the communication log of a run, re-run, and diff.
+Any divergence pinpoints the first nondeterministic (or changed) event
+— the debugging workflow a SIMD-style global OS makes possible.
+
+Usage::
+
+    recorder = FlightRecorder()
+    cluster = Cluster(spec, trace=recorder.trace)
+    ... run ...
+    log = recorder.log()
+
+    divergence = diff_logs(log_a, log_b)   # [] when runs are identical
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim import Trace
+
+#: Trace categories the recorder needs captured.
+CATEGORIES = ("fabric.unicast", "fabric.multicast", "bcs.microphase")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point where two communication logs disagree."""
+
+    index: int
+    left: Optional[tuple]
+    right: Optional[tuple]
+
+    def __str__(self) -> str:
+        return (
+            f"logs diverge at event {self.index}:\n"
+            f"  run A: {self.left}\n"
+            f"  run B: {self.right}"
+        )
+
+
+class FlightRecorder:
+    """Captures a run's ordered communication log."""
+
+    def __init__(self):
+        self.trace = Trace(categories=list(CATEGORIES))
+
+    def log(self) -> List[tuple]:
+        """The normalized event log, in simulation order.
+
+        Each entry is a plain tuple (hashable, diffable):
+        ``(time, kind, details...)``.
+        """
+        out: List[tuple] = []
+        for rec in self.trace.records:
+            if rec.category == "fabric.unicast":
+                out.append(
+                    (
+                        rec.time,
+                        "unicast",
+                        rec.fields["src"],
+                        rec.fields["dst"],
+                        rec.fields["size"],
+                        rec.fields.get("label", ""),
+                    )
+                )
+            elif rec.category == "fabric.multicast":
+                out.append(
+                    (
+                        rec.time,
+                        "multicast",
+                        rec.fields["src"],
+                        rec.fields["dests"],
+                        rec.fields["size"],
+                    )
+                )
+            elif rec.category == "bcs.microphase":
+                out.append(
+                    (
+                        rec.time,
+                        "phase",
+                        rec.fields["slice"],
+                        rec.fields["phase"],
+                        rec.fields["duration"],
+                    )
+                )
+        return out
+
+
+def diff_logs(a: List[tuple], b: List[tuple]) -> List[Divergence]:
+    """Compare two communication logs; empty list means identical.
+
+    Reports the first divergence (different event, or one log ending
+    early) — with a deterministic runtime that is exactly where the two
+    executions started to differ.
+    """
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if ea != eb:
+            return [Divergence(i, ea, eb)]
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        return [
+            Divergence(
+                i,
+                a[i] if i < len(a) else None,
+                b[i] if i < len(b) else None,
+            )
+        ]
+    return []
+
+
+def assert_replayable(run_fn) -> List[tuple]:
+    """Run ``run_fn(trace)`` twice and assert identical logs.
+
+    ``run_fn`` must accept a :class:`Trace` and perform a complete run
+    against a *fresh* cluster wired to it.  Returns the (verified) log.
+    """
+    logs = []
+    for _ in range(2):
+        recorder = FlightRecorder()
+        run_fn(recorder.trace)
+        logs.append(recorder.log())
+    divergences = diff_logs(logs[0], logs[1])
+    if divergences:
+        raise AssertionError(f"run is not replayable:\n{divergences[0]}")
+    return logs[0]

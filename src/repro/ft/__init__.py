@@ -1,0 +1,15 @@
+"""Fault tolerance on slice boundaries (the paper's §6 direction)."""
+
+from .checkpoint import CheckpointConfig, CheckpointRecord, CheckpointService
+from .failure import FailureEvent, FailureInjector
+from .recovery import RecoveryManager, RecoveryReport
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointRecord",
+    "CheckpointService",
+    "FailureEvent",
+    "FailureInjector",
+    "RecoveryManager",
+    "RecoveryReport",
+]

@@ -1,0 +1,147 @@
+"""Coordinated checkpointing on slice boundaries.
+
+The paper argues (§1, §6) that BCS's determinism "facilitates the
+implementation of checkpointing": at the beginning of every time slice
+the communication state of all processes is globally known, so a
+checkpoint taken there needs no message logging or channel draining —
+the runtime state can simply be discarded and rebuilt.
+
+:class:`CheckpointService` rides the runtime's slice hook: every
+``interval`` it quiesces each node (grabs all CPUs, which naturally
+waits out the in-flight compute quantum), charges the time to write the
+per-node memory image, and records the job's progress watermark (the
+minimum step any rank has reported).  Recovery restarts from that
+watermark — see :mod:`repro.ft.recovery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..units import bw_time, mib, seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..bcs.runtime import BcsRuntime
+    from ..storm.job import Job
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpoint policy parameters."""
+
+    #: Time between checkpoints (aligned down to slice boundaries).
+    interval: int = seconds(2)
+    #: Per-node memory image written at each checkpoint.
+    image_bytes: int = mib(128)
+    #: Bandwidth to stable storage (local disk / buddy node), bytes/s.
+    storage_bandwidth: float = 100e6
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.image_bytes < 0 or self.storage_bandwidth <= 0:
+            raise ValueError("invalid image size / bandwidth")
+
+    @property
+    def write_time(self) -> int:
+        """Time (ns) to write one node's image."""
+        return bw_time(self.image_bytes, self.storage_bandwidth)
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One completed coordinated checkpoint."""
+
+    time: int
+    slice_no: int
+    #: job_id -> progress watermark (min reported step across ranks).
+    watermarks: dict
+
+
+class CheckpointService:
+    """Slice-synchronous coordinated checkpointing."""
+
+    def __init__(self, runtime: "BcsRuntime", config: Optional[CheckpointConfig] = None):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.config = config or CheckpointConfig()
+        #: (job_id, rank) -> last step the application reported durable.
+        self.progress: Dict[tuple, int] = {}
+        self.checkpoints: List[CheckpointRecord] = []
+        self.total_pause_ns = 0
+        self._last = 0
+        self._busy = False
+        runtime.on_slice_start.append(self._tick)
+
+    # -- application side -------------------------------------------------------
+
+    def report(self, ctx, step: int) -> None:
+        """Record that ``ctx``'s rank has durably finished ``step`` steps.
+
+        Restartable applications call this once per completed step; the
+        checkpoint watermark is the minimum across ranks.
+        """
+        self.progress[(ctx.job.id, ctx.rank)] = step
+
+    def watermark(self, job: "Job") -> int:
+        """Current min-progress of a job (0 if nothing reported)."""
+        steps = [
+            self.progress.get((job.id, r), 0) for r in range(job.n_ranks)
+        ]
+        return min(steps) if steps else 0
+
+    def restart_point(self, job: "Job") -> int:
+        """Watermark of the last completed checkpoint covering ``job``."""
+        for record in reversed(self.checkpoints):
+            if job.id in record.watermarks:
+                return record.watermarks[job.id]
+        return 0
+
+    # -- runtime side ------------------------------------------------------------
+
+    def _tick(self, slice_no: int) -> None:
+        if self._busy or self.env.now - self._last < self.config.interval:
+            return
+        live = [j for j in self.runtime.jobs.values() if not j.terminal]
+        if not live:
+            return
+        self._busy = True
+        self._last = self.env.now
+        self.env.process(self._checkpoint(slice_no, live), name="ckpt")
+
+    def _checkpoint(self, slice_no: int, jobs):
+        t0 = self.env.now
+        nodes = sorted({n for job in jobs for n in job.nodes})
+        # Quiesce: one holder per node grabs every CPU, so application
+        # compute pauses while the image is written.
+        holders = [
+            self.env.process(self._hold_node(node_id), name=f"ckpt.n{node_id}")
+            for node_id in nodes
+        ]
+        yield self.env.all_of(holders)
+        self.checkpoints.append(
+            CheckpointRecord(
+                time=self.env.now,
+                slice_no=slice_no,
+                watermarks={job.id: self.watermark(job) for job in jobs},
+            )
+        )
+        self.total_pause_ns += self.env.now - t0
+        self.runtime.stats["checkpoints"] += 1
+        self._busy = False
+
+    def _hold_node(self, node_id: int):
+        node = self.runtime.cluster.node(node_id)
+        capacity = node.cpu.capacity
+        yield node.cpu.request(capacity)
+        try:
+            yield self.env.timeout(self.config.write_time)
+        finally:
+            node.cpu.release(capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CheckpointService n={len(self.checkpoints)} "
+            f"interval={self.config.interval}>"
+        )

@@ -1,0 +1,59 @@
+"""Failure injection.
+
+Kills a compute node at a scheduled time: every job with a rank on that
+node is torn down (all its processes interrupted, its runtime state
+purged) — the fail-stop model the paper's fault-tolerance direction
+assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..bcs.runtime import BcsRuntime
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected fail-stop failure."""
+
+    time: int
+    node_id: int
+
+
+class FailureInjector:
+    """Schedules fail-stop node failures against a BCS runtime."""
+
+    def __init__(self, runtime: "BcsRuntime"):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.injected: List[FailureEvent] = []
+        self.dead_nodes: set[int] = set()
+        #: Callbacks invoked with the node id at kill time (e.g. to stop
+        #: the node acknowledging heartbeats).
+        self.on_kill: List = []
+
+    def kill_node_at(self, node_id: int, when: int) -> None:
+        """Schedule node ``node_id`` to fail at absolute time ``when``."""
+        if when < self.env.now:
+            raise ValueError("failure scheduled in the past")
+
+        def injector():
+            if when > self.env.now:
+                yield self.env.timeout(when - self.env.now)
+            self.kill_node(node_id)
+
+        self.env.process(injector(), name=f"fail.n{node_id}")
+
+    def kill_node(self, node_id: int) -> None:
+        """Fail a node immediately (fail-stop)."""
+        self.dead_nodes.add(node_id)
+        self.injected.append(FailureEvent(self.env.now, node_id))
+        self.runtime.stats["node_failures"] += 1
+        for hook in list(self.on_kill):
+            hook(node_id)
+        for job in list(self.runtime.jobs.values()):
+            if not job.terminal and node_id in job.nodes:
+                self.runtime.kill_job(job, cause=f"node {node_id} failed")

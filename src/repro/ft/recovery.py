@@ -1,0 +1,150 @@
+"""Recovery orchestration: checkpoint/restart of a restartable job.
+
+The restartable-application contract: the app generator accepts a
+``start_step`` parameter and (if ``ft`` is in its params) calls
+``ft.report(ctx, step)`` after each completed step.  On failure the
+orchestrator waits out the detection delay (one heartbeat period) and a
+reboot delay, then relaunches the job from the last checkpoint's
+watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..bcs.runtime import BcsRuntime
+from ..storm.heartbeat import HeartbeatService
+from ..storm.job import Job, JobSpec
+from ..units import ms, seconds
+from .checkpoint import CheckpointConfig, CheckpointService
+from .failure import FailureInjector
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of a run-with-failures experiment."""
+
+    completed: bool
+    total_ns: int
+    restarts: int
+    checkpoints: int
+    checkpoint_pause_ns: int
+    lost_steps: int
+    failures: int
+
+
+class RecoveryManager:
+    """Runs a restartable job to completion across injected failures."""
+
+    def __init__(
+        self,
+        runtime: BcsRuntime,
+        checkpoint_config: Optional[CheckpointConfig] = None,
+        detection_delay: int = ms(10),
+        reboot_delay: int = seconds(0.5),
+        use_heartbeat_detection: bool = False,
+        heartbeat_period: int = ms(10),
+    ):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.checkpoints = CheckpointService(runtime, checkpoint_config)
+        self.injector = FailureInjector(runtime)
+        self.detection_delay = detection_delay
+        self.reboot_delay = reboot_delay
+        self.heartbeat: Optional[HeartbeatService] = None
+        if use_heartbeat_detection:
+            # Real detection: the MM's heartbeat Compare-And-Write stops
+            # seeing the dead node's acks; recovery proceeds only once a
+            # beat is actually missed (instead of the fixed delay).
+            self.heartbeat = HeartbeatService(
+                runtime.core,
+                runtime.cluster.management_node.id,
+                [n.id for n in runtime.cluster.compute_nodes],
+                period=heartbeat_period,
+            )
+            self.heartbeat.start()
+            self.injector.on_kill.append(self.heartbeat.fail)
+
+    def _await_detection(self, node_id: int):
+        """Generator: block until the failure is actually detected."""
+        if self.heartbeat is None:
+            yield self.env.timeout(self.detection_delay)
+            return
+        while self.heartbeat.stats.missed.get(node_id, 0) == 0:
+            yield self.env.timeout(self.heartbeat.period // 2)
+
+    def run_to_completion(
+        self,
+        app: Callable,
+        n_ranks: int,
+        total_steps: int,
+        params: Optional[dict] = None,
+        failures: Optional[List[tuple]] = None,
+        max_restarts: int = 10,
+    ) -> RecoveryReport:
+        """Drive ``app`` to ``total_steps`` across failures.
+
+        ``failures`` is a list of (time_ns, node_id) fail-stop events.
+        The app is launched with ``start_step`` / ``total_steps`` /
+        ``ft`` parameters per the restartable contract.
+        """
+        for when, node in failures or []:
+            self.injector.kill_node_at(node, when)
+
+        t0 = self.env.now
+        start_step = 0
+        restarts = 0
+        lost_steps = 0
+
+        while True:
+            spec = JobSpec(
+                app=app,
+                n_ranks=n_ranks,
+                name=f"ft-job.r{restarts}",
+                params={
+                    **(params or {}),
+                    "start_step": start_step,
+                    "total_steps": total_steps,
+                    "ft": self.checkpoints,
+                },
+            )
+            job = self.runtime.launch(spec)
+            # Prime the progress watermark so a checkpoint taken before
+            # the ranks' first report doesn't roll progress back to 0.
+            for rank in range(n_ranks):
+                self.checkpoints.progress[(job.id, rank)] = start_step
+            outcome = self.env.any_of([job.done, job.failed])
+            self.env.run(until=outcome)
+
+            if job.complete:
+                return RecoveryReport(
+                    completed=True,
+                    total_ns=self.env.now - t0,
+                    restarts=restarts,
+                    checkpoints=len(self.checkpoints.checkpoints),
+                    checkpoint_pause_ns=self.checkpoints.total_pause_ns,
+                    lost_steps=lost_steps,
+                    failures=len(self.injector.injected),
+                )
+
+            # Failure path: roll back to the last checkpoint watermark.
+            restarts += 1
+            if restarts > max_restarts:
+                raise RuntimeError("exceeded max_restarts; failures outpace progress")
+            resume_from = self.checkpoints.restart_point(job)
+            lost_steps += max(self.checkpoints.watermark(job) - resume_from, 0)
+            start_step = resume_from
+            # Detection (fixed delay or a real missed heartbeat), then
+            # node reboot, before relaunch.
+            failed_node = (
+                self.injector.injected[-1].node_id if self.injector.injected else -1
+            )
+            detect = self.env.process(
+                self._await_detection(failed_node), name="ft.detect"
+            )
+            self.env.run(until=detect)
+            self.env.run(until=self.env.timeout(self.reboot_delay))
+            if self.heartbeat is not None:
+                # The rebooted node acknowledges again.
+                self.heartbeat._dead.discard(failed_node)

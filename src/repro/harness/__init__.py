@@ -1,0 +1,11 @@
+"""Experiment harness: runners, per-figure experiments, reporting."""
+
+from .runner import Comparison, RunResult, compare_backends, nodes_for, run_workload
+
+__all__ = [
+    "Comparison",
+    "RunResult",
+    "compare_backends",
+    "nodes_for",
+    "run_workload",
+]

@@ -1,0 +1,187 @@
+"""Command-line interface: regenerate any table or figure.
+
+::
+
+    python -m repro.harness.cli table1
+    python -m repro.harness.cli fig8a fig8b
+    python -m repro.harness.cli table2 --scale 0.1 --apps SAGE IS
+    python -m repro.harness.cli fig11 --procs 8 16 32
+    python -m repro.harness.cli all
+
+Each command prints the same rows the corresponding paper table/figure
+reports (see EXPERIMENTS.md for the expected values).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments
+from .report import print_table
+
+
+#: Rows produced during this invocation, keyed by experiment title
+#: (collected for --save).
+_collected: dict = {}
+
+
+def _rows_to_table(title: str, rows: List[dict]) -> None:
+    _collected[title] = rows
+    if not rows:
+        print(f"== {title} == (no rows)")
+        return
+    headers = list(rows[0].keys())
+    print_table(title, headers, [[row[h] for h in headers] for row in rows])
+
+
+def cmd_table1(args) -> None:
+    _rows_to_table(
+        "Table 1: BCS core mechanisms across networks",
+        experiments.table1_rows(),
+    )
+
+
+def cmd_fig8a(args) -> None:
+    _rows_to_table(
+        "Fig 8(a): barrier benchmark vs granularity",
+        experiments.fig8a_barrier_vs_granularity(n_ranks=args.ranks or 62),
+    )
+
+
+def cmd_fig8b(args) -> None:
+    _rows_to_table(
+        "Fig 8(b): barrier benchmark vs processes",
+        experiments.fig8b_barrier_vs_procs(),
+    )
+
+
+def cmd_fig8c(args) -> None:
+    _rows_to_table(
+        "Fig 8(c): nearest-neighbour benchmark vs granularity",
+        experiments.fig8c_p2p_vs_granularity(n_ranks=args.ranks or 62),
+    )
+
+
+def cmd_fig8d(args) -> None:
+    _rows_to_table(
+        "Fig 8(d): nearest-neighbour benchmark vs processes",
+        experiments.fig8d_p2p_vs_procs(),
+    )
+
+
+def cmd_table2(args) -> None:
+    _rows_to_table(
+        "Fig 9 / Table 2: applications",
+        experiments.fig9_table2_rows(
+            n_ranks=args.ranks, scale=args.scale, apps=args.apps
+        ),
+    )
+
+
+def cmd_fig10(args) -> None:
+    _rows_to_table(
+        "Fig 10: SAGE scaling",
+        experiments.fig10_sage_scaling(proc_counts=args.procs or (8, 16, 32, 48, 62)),
+    )
+
+
+def cmd_fig11(args) -> None:
+    _rows_to_table(
+        "Fig 11: SWEEP3D blocking vs non-blocking",
+        experiments.fig11_sweep3d(proc_counts=args.procs or (8, 16, 32, 48, 62)),
+    )
+
+
+def cmd_ablations(args) -> None:
+    _rows_to_table("Ablation: time slice", experiments.ablation_timeslice())
+    _rows_to_table("Ablation: buffered sends", experiments.ablation_buffered_sends())
+    _rows_to_table("Ablation: kernel-level BCS", experiments.ablation_kernel_level())
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "fig8a": cmd_fig8a,
+    "fig8b": cmd_fig8b,
+    "fig8c": cmd_fig8c,
+    "fig8d": cmd_fig8d,
+    "table2": cmd_table2,
+    "fig9": cmd_table2,  # alias: Fig 9 and Table 2 share the data
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "ablations": cmd_ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the BCS-MPI paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one or more of: {', '.join(sorted(COMMANDS))}, all",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="application scale factor (default: per-experiment; 1.0 = full size)",
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=None, help="override the process count"
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        nargs="+",
+        default=None,
+        help="process counts for scaling figures (fig10/fig11)",
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        default=None,
+        help="restrict table2 to these applications (e.g. SAGE IS LU)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="also write the rows of every experiment run as JSON",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    wanted = list(args.experiments)
+    if "all" in wanted:
+        wanted = list(COMMANDS)
+    unknown = [w for w in wanted if w not in COMMANDS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(sorted(COMMANDS))}, all", file=sys.stderr)
+        return 2
+    _collected.clear()
+    seen = set()
+    for name in wanted:
+        fn = COMMANDS[name]
+        if fn in seen:
+            continue
+        seen.add(fn)
+        fn(args)
+    if args.save:
+        import json
+
+        with open(args.save, "w") as fh:
+            json.dump(_collected, fh, indent=2, default=str)
+        print(f"\nsaved {len(_collected)} experiment(s) to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

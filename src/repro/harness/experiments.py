@@ -1,0 +1,446 @@
+"""Per-figure/table experiment definitions (the paper's evaluation, §5).
+
+Every public function regenerates one table or figure of the paper and
+returns structured rows; the benchmark harness in ``benchmarks/`` prints
+them.  ``scale`` shrinks iteration counts (and, proportionally, the
+one-time runtime-initialization costs, so the init/runtime ratio that
+drives the IS and EP results is preserved) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..apps import (
+    barrier_benchmark,
+    nearest_neighbor_benchmark,
+    sage,
+    sweep3d_blocking,
+    sweep3d_nonblocking,
+)
+from ..apps.nas import NAS_APPS
+from ..bcs import BcsConfig
+from ..core import BcsCore
+from ..mpi.baseline import BaselineConfig
+from ..network import Cluster, ClusterSpec, by_name
+from ..units import MiB, kib, ms, seconds, to_us, us
+from .runner import Comparison, compare_backends
+
+#: The paper's full-machine process count (31 dual-CPU nodes).
+FULL_MACHINE = 62
+
+#: Paper-reported values, for side-by-side reporting (Table 2).
+PAPER_TABLE2 = {
+    "SAGE": -0.42,
+    "SWEEP3D": -2.23,
+    "IS": 10.14,
+    "EP": 5.35,
+    "MG": 4.37,
+    "CG": 10.83,
+    "LU": 15.04,
+}
+
+
+def _synthetic_configs():
+    # Synthetic benchmarks measure the loop only (no init phase).
+    return BcsConfig(init_cost=0), BaselineConfig(init_cost=0)
+
+
+# --- Table 1 -----------------------------------------------------------------
+
+
+def table1_rows(
+    node_counts: Sequence[int] = (2, 4, 8, 16, 32),
+    payload: int = 1 * MiB,
+) -> List[dict]:
+    """Measured Compare-And-Write latency and Xfer-And-Signal aggregate
+    bandwidth on every network model (Table 1)."""
+    rows = []
+    for model_name in ("gige", "myrinet", "infiniband", "qsnet", "bluegene_l"):
+        for n in node_counts:
+            cluster = Cluster(ClusterSpec(n_nodes=n, model=by_name(model_name)))
+            core = BcsCore(cluster)
+
+            def caw():
+                t0 = cluster.env.now
+                yield from core.compare_and_write(
+                    cluster.management_node.id, range(n), "x", "==", None
+                )
+                return cluster.env.now - t0
+
+            caw_ns = cluster.run(until=cluster.env.process(caw()))
+
+            def mcast():
+                t0 = cluster.env.now
+                core.xfer_and_signal(
+                    cluster.management_node.id,
+                    range(n),
+                    size=payload,
+                    local_event="done",
+                )
+                yield from core.test_event(cluster.management_node.id, "done")
+                return cluster.env.now - t0
+
+            mcast_ns = cluster.run(until=cluster.env.process(mcast()))
+            aggregate_mb_s = (payload * n) / (mcast_ns / 1e9) / 1e6
+            rows.append(
+                {
+                    "network": model_name,
+                    "nodes": n,
+                    "caw_us": to_us(caw_ns),
+                    "xfer_aggregate_mb_s": aggregate_mb_s,
+                    "xfer_mb_s_per_node": aggregate_mb_s / n,
+                }
+            )
+    return rows
+
+
+# --- Figure 8 ---------------------------------------------------------------------
+
+
+def fig8a_barrier_vs_granularity(
+    granularities_ms: Sequence[float] = (1, 2, 5, 10, 20, 50),
+    n_ranks: int = FULL_MACHINE,
+    iterations: int = 15,
+) -> List[dict]:
+    """Slowdown vs computation granularity; barrier benchmark (Fig 8a)."""
+    bc, bl = _synthetic_configs()
+    rows = []
+    for g in granularities_ms:
+        comparison = compare_backends(
+            barrier_benchmark,
+            n_ranks,
+            params=dict(granularity=ms(g), iterations=iterations),
+            bcs_config=bc,
+            baseline_config=bl,
+            name="barrier",
+        )
+        rows.append(_point("granularity_ms", g, comparison))
+    return rows
+
+
+def fig8b_barrier_vs_procs(
+    proc_counts: Sequence[int] = (4, 8, 16, 32, 48, 62),
+    granularity_ms: float = 10,
+    iterations: int = 15,
+) -> List[dict]:
+    """Slowdown vs process count; barrier benchmark, 10 ms (Fig 8b)."""
+    bc, bl = _synthetic_configs()
+    rows = []
+    for p in proc_counts:
+        comparison = compare_backends(
+            barrier_benchmark,
+            p,
+            params=dict(granularity=ms(granularity_ms), iterations=iterations),
+            bcs_config=bc,
+            baseline_config=bl,
+            name="barrier",
+        )
+        rows.append(_point("processes", p, comparison))
+    return rows
+
+
+def fig8c_p2p_vs_granularity(
+    granularities_ms: Sequence[float] = (1, 2, 5, 10, 20, 50),
+    n_ranks: int = FULL_MACHINE,
+    iterations: int = 15,
+) -> List[dict]:
+    """Slowdown vs granularity; nearest-neighbour benchmark, 4 neighbours,
+    4 KB messages (Fig 8c)."""
+    bc, bl = _synthetic_configs()
+    rows = []
+    for g in granularities_ms:
+        comparison = compare_backends(
+            nearest_neighbor_benchmark,
+            n_ranks,
+            params=dict(
+                granularity=ms(g),
+                iterations=iterations,
+                n_neighbors=4,
+                message_bytes=kib(4),
+            ),
+            bcs_config=bc,
+            baseline_config=bl,
+            name="p2p",
+        )
+        rows.append(_point("granularity_ms", g, comparison))
+    return rows
+
+
+def fig8d_p2p_vs_procs(
+    proc_counts: Sequence[int] = (4, 8, 16, 32, 48, 62),
+    granularity_ms: float = 10,
+    iterations: int = 15,
+) -> List[dict]:
+    """Slowdown vs process count; nearest-neighbour benchmark (Fig 8d)."""
+    bc, bl = _synthetic_configs()
+    rows = []
+    for p in proc_counts:
+        comparison = compare_backends(
+            nearest_neighbor_benchmark,
+            p,
+            params=dict(
+                granularity=ms(granularity_ms),
+                iterations=iterations,
+                n_neighbors=4,
+                message_bytes=kib(4),
+            ),
+            bcs_config=bc,
+            baseline_config=bl,
+            name="p2p",
+        )
+        rows.append(_point("processes", p, comparison))
+    return rows
+
+
+# --- Figure 9 / Table 2 ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppExperiment:
+    """One application row of Fig 9 / Table 2."""
+
+    name: str
+    app: object
+    #: params for scale=1.0 (the class-C-like / full-input problem).
+    full_params: dict
+    #: which params shrink with scale (iteration-like counts).
+    scaled_params: tuple
+    #: scale used by default benches (keeps event counts tractable while
+    #: preserving per-iteration structure and the init/runtime ratio).
+    default_scale: float = 0.25
+    #: default process count.  The NPB 2.4 kernels require power-of-two
+    #: process counts, so the paper's NAS rows are 32-process runs; only
+    #: SAGE and SWEEP3D use the full 62-process machine.
+    n_ranks: int = 32
+
+
+APP_EXPERIMENTS: Dict[str, AppExperiment] = {
+    "SAGE": AppExperiment(
+        "SAGE", sage, dict(steps=1200), ("steps",), default_scale=0.05,
+        n_ranks=FULL_MACHINE,
+    ),
+    "SWEEP3D": AppExperiment(
+        "SWEEP3D",
+        sweep3d_nonblocking,
+        dict(octants=4096, kblocks=4),
+        ("octants",),
+        default_scale=0.02,
+        n_ranks=FULL_MACHINE,
+    ),
+    "IS": AppExperiment(
+        "IS",
+        NAS_APPS["IS"],
+        dict(iterations=11, total_keys=2**27),
+        ("iterations",),
+        default_scale=0.5,
+    ),
+    "EP": AppExperiment(
+        "EP",
+        NAS_APPS["EP"],
+        dict(total_compute=seconds(22)),
+        ("total_compute",),
+        default_scale=0.25,
+    ),
+    "MG": AppExperiment(
+        "MG", NAS_APPS["MG"], dict(iterations=20), ("iterations",), default_scale=0.25
+    ),
+    "CG": AppExperiment(
+        "CG",
+        NAS_APPS["CG"],
+        dict(outer_iterations=75, inner_iterations=25),
+        ("outer_iterations",),
+        default_scale=0.1,
+    ),
+    "LU": AppExperiment(
+        "LU",
+        NAS_APPS["LU"],
+        dict(iterations=250, kblocks=16),
+        ("iterations",),
+        default_scale=0.04,
+    ),
+}
+
+#: Full-scale runtime-initialization costs (see DESIGN.md §7).
+BCS_INIT_FULL = seconds(1.2)
+BASELINE_INIT_FULL = seconds(0.15)
+
+
+def run_app_experiment(
+    name: str,
+    n_ranks: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> Comparison:
+    """Run one Fig 9 / Table 2 application at the given scale.
+
+    Iteration-like parameters *and* the one-time init costs shrink by
+    ``scale`` together, preserving the init/runtime ratio that drives
+    the IS and EP slowdowns.  ``scale=None`` uses the experiment's
+    tractable default; ``n_ranks=None`` uses the paper's size for that
+    application (62 for SAGE/SWEEP3D, 32 for the NPB kernels).
+    """
+    exp = APP_EXPERIMENTS[name]
+    if scale is None:
+        scale = exp.default_scale
+    if n_ranks is None:
+        n_ranks = exp.n_ranks
+    params = dict(exp.full_params)
+    for key in exp.scaled_params:
+        params[key] = max(int(round(params[key] * scale)), 1)
+    bc = BcsConfig(init_cost=int(BCS_INIT_FULL * scale))
+    bl = BaselineConfig(init_cost=int(BASELINE_INIT_FULL * scale))
+    return compare_backends(
+        exp.app,
+        n_ranks,
+        params=params,
+        bcs_config=bc,
+        baseline_config=bl,
+        name=name,
+    )
+
+
+def fig9_table2_rows(
+    n_ranks: Optional[int] = None,
+    scale: Optional[float] = None,
+    apps: Optional[Sequence[str]] = None,
+) -> List[dict]:
+    """Runtimes + slowdowns for every application (Fig 9 and Table 2)."""
+    rows = []
+    for name in apps or APP_EXPERIMENTS:
+        comparison = run_app_experiment(name, n_ranks, scale)
+        rows.append(
+            {
+                "app": name,
+                "baseline_s": comparison.baseline.runtime_s,
+                "bcs_s": comparison.bcs.runtime_s,
+                "slowdown_pct": comparison.slowdown_pct,
+                "paper_slowdown_pct": PAPER_TABLE2.get(name),
+            }
+        )
+    return rows
+
+
+# --- Figure 10 -----------------------------------------------------------------------
+
+
+def fig10_sage_scaling(
+    proc_counts: Sequence[int] = (8, 16, 32, 48, 62),
+    scale: Optional[float] = 0.02,
+) -> List[dict]:
+    """SAGE runtime vs process count for both MPIs (Fig 10)."""
+    rows = []
+    for p in proc_counts:
+        comparison = run_app_experiment("SAGE", p, scale)
+        rows.append(_point("processes", p, comparison))
+    return rows
+
+
+# --- Figure 11 ------------------------------------------------------------------------
+
+
+def fig11_sweep3d(
+    proc_counts: Sequence[int] = (8, 16, 32, 48, 62),
+    octants: int = 4,
+    kblocks: int = 4,
+) -> List[dict]:
+    """SWEEP3D blocking (11a) and non-blocking (11b) vs process count."""
+    bc, bl = _synthetic_configs()
+    rows = []
+    for p in proc_counts:
+        for variant, app in (
+            ("blocking", sweep3d_blocking),
+            ("nonblocking", sweep3d_nonblocking),
+        ):
+            comparison = compare_backends(
+                app,
+                p,
+                params=dict(octants=octants, kblocks=kblocks),
+                bcs_config=bc,
+                baseline_config=bl,
+                name=f"sweep3d_{variant}",
+            )
+            row = _point("processes", p, comparison)
+            row["variant"] = variant
+            rows.append(row)
+    return rows
+
+
+# --- Ablations (design-choice benches; DESIGN.md §6) -----------------------------------
+
+
+def ablation_timeslice(
+    timeslices_us: Sequence[float] = (125, 250, 500, 1000, 2000),
+    n_ranks: int = 16,
+) -> List[dict]:
+    """Blocking ping-pong cost vs time-slice length."""
+    rows = []
+    for ts in timeslices_us:
+        bc = BcsConfig(
+            init_cost=0,
+            timeslice=us(ts),
+            dem_min_duration=us(min(65, ts * 0.13)),
+            msm_min_duration=us(min(60, ts * 0.12)),
+        )
+        comparison = compare_backends(
+            sweep3d_blocking,
+            n_ranks,
+            params=dict(octants=2, kblocks=4),
+            bcs_config=bc,
+            baseline_config=BaselineConfig(init_cost=0),
+            name="timeslice",
+        )
+        rows.append(_point("timeslice_us", ts, comparison))
+    return rows
+
+
+def ablation_kernel_level(
+    n_ranks: int = FULL_MACHINE,
+    granularity_ms: float = 10,
+    iterations: int = 15,
+) -> List[dict]:
+    """User-level vs kernel-level BCS (§4.5): the NM tax disappears."""
+    rows = []
+    for label, bc in (
+        ("user-level", BcsConfig(init_cost=0)),
+        ("kernel-level", BcsConfig.kernel_level(init_cost=0)),
+    ):
+        comparison = compare_backends(
+            barrier_benchmark,
+            n_ranks,
+            params=dict(granularity=ms(granularity_ms), iterations=iterations),
+            bcs_config=bc,
+            baseline_config=BaselineConfig(init_cost=0),
+            name="kernel",
+        )
+        row = _point("implementation", label, comparison)
+        rows.append(row)
+    return rows
+
+
+def ablation_buffered_sends(n_ranks: int = 16) -> List[dict]:
+    """Buffered vs strict blocking-send completion (the B in BCS)."""
+    rows = []
+    for buffered in (True, False):
+        bc = BcsConfig(init_cost=0, buffered_sends=buffered)
+        comparison = compare_backends(
+            sweep3d_blocking,
+            n_ranks,
+            params=dict(octants=2, kblocks=4),
+            bcs_config=bc,
+            baseline_config=BaselineConfig(init_cost=0),
+            name="buffered",
+        )
+        row = _point("buffered_sends", buffered, comparison)
+        rows.append(row)
+    return rows
+
+
+def _point(x_name: str, x, comparison: Comparison) -> dict:
+    return {
+        x_name: x,
+        "baseline_s": comparison.baseline.runtime_s,
+        "bcs_s": comparison.bcs.runtime_s,
+        "slowdown_pct": comparison.slowdown_pct,
+    }

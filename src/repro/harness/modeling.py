@@ -1,0 +1,105 @@
+"""Analytical performance model of BCS-MPI.
+
+One of the paper's selling points is that a globally scheduled,
+deterministic communication system is "much simpler to implement, debug
+and model" (abstract, §1).  This module makes that concrete: closed-form
+predictions of BCS-MPI behaviour that the benchmarks validate against
+the simulator.
+
+The model:
+
+- a blocking receive posted uniformly at random within a slice completes
+  ``1.5`` slices later on average (paper §3.1): the remainder of the
+  posting slice (mean ``T/2``) plus one full slice of scheduling +
+  transmission;
+- a collective adds the same quantization, entering at the *last* rank's
+  post;
+- computation is stretched by the Node Manager tax;
+- large messages progress at the per-slice chunk budget;
+- therefore a bulk-synchronous loop of granularity ``g`` with one
+  synchronization per iteration runs at
+
+  ``slowdown(g) ≈ (g·(1+tax) + 1.5·T) / (g + t_sync_baseline) − 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bcs.config import BcsConfig
+from ..mpi.baseline import BaselineConfig
+from ..units import us
+
+
+@dataclass(frozen=True)
+class BcsModel:
+    """Closed-form BCS-MPI predictions for a given configuration."""
+
+    config: BcsConfig
+    link_bandwidth: float = 305e6
+
+    # -- primitive costs ----------------------------------------------------------
+
+    def blocking_recv_delay(self) -> float:
+        """Mean post-to-restart delay of a blocking receive, ns (§3.1)."""
+        return 1.5 * self.config.timeslice
+
+    def collective_delay(self) -> float:
+        """Mean delay of a blocking collective after the last arrival, ns.
+
+        The last rank posts mid-slice on average; the operation is
+        scheduled and executed in the following slice and the ranks are
+        restarted at the next boundary.
+        """
+        return 1.5 * self.config.timeslice
+
+    def message_slices(self, nbytes: int, streams_per_link: int = 1) -> int:
+        """Slices needed to move ``nbytes`` with the chunk budget shared
+        by ``streams_per_link`` concurrent messages on one link."""
+        if nbytes <= 0:
+            return 1
+        budget = self.config.p2p_slice_budget_bytes(self.link_bandwidth)
+        per_stream = max(budget // max(streams_per_link, 1), 1)
+        return max(math.ceil(nbytes / per_stream), 1)
+
+    def large_recv_delay(self, nbytes: int, streams_per_link: int = 1) -> float:
+        """Mean blocking-receive delay for a chunked message, ns."""
+        extra_slices = self.message_slices(nbytes, streams_per_link) - 1
+        return self.blocking_recv_delay() + extra_slices * self.config.timeslice
+
+    # -- loop-level predictions ------------------------------------------------------
+
+    def effective_compute(self, granularity: int) -> float:
+        """Computation time after the NM tax, ns."""
+        return granularity * (1.0 + self.config.nm_compute_tax)
+
+    def bulk_synchronous_slowdown(
+        self,
+        granularity: int,
+        baseline_sync_ns: float = us(12),
+        syncs_per_iteration: int = 1,
+    ) -> float:
+        """Predicted slowdown (%) of a compute+synchronize loop vs the
+        production MPI (Fig. 8's curves)."""
+        bcs_iter = self.effective_compute(granularity) + (
+            syncs_per_iteration * self.collective_delay()
+        )
+        base_iter = granularity + syncs_per_iteration * baseline_sync_ns
+        return 100.0 * (bcs_iter / base_iter - 1.0)
+
+    def crossover_granularity(
+        self, target_slowdown_pct: float, baseline_sync_ns: float = us(12)
+    ) -> float:
+        """Granularity (ns) at which the predicted slowdown falls to the
+        target — where BCS becomes 'good enough' (Fig. 8's knee)."""
+        s = target_slowdown_pct / 100.0
+        tax = self.config.nm_compute_tax
+        numerator = 1.5 * self.config.timeslice - (1 + s) * baseline_sync_ns
+        denominator = (1 + s) - (1 + tax)
+        if denominator <= 0:
+            raise ValueError(
+                f"target {target_slowdown_pct}% is below the NM-tax floor"
+            )
+        return numerator / denominator

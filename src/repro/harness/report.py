@@ -1,0 +1,49 @@
+"""Plain-text reporting: the tables and series the paper prints."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Print (and return) a titled table."""
+    text = f"\n== {title} ==\n{format_table(headers, rows)}"
+    print(text)
+    return text
+
+
+def slowdown_series(points: Sequence[tuple]) -> List[dict]:
+    """Normalize (x, comparison) pairs into report rows."""
+    rows = []
+    for x, comparison in points:
+        rows.append(
+            {
+                "x": x,
+                "bcs_s": comparison.bcs.runtime_s,
+                "baseline_s": comparison.baseline.runtime_s,
+                "slowdown_pct": comparison.slowdown_pct,
+            }
+        )
+    return rows

@@ -1,0 +1,125 @@
+"""Experiment runner: one workload, one backend, one measurement.
+
+Wraps cluster construction, runtime selection, noise injection and
+placement so experiments are one-liners:
+
+    result = run_workload(sage, n_ranks=62, backend="bcs")
+    comparison = compare_backends(sage, n_ranks=62)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..bcs import BcsConfig, BcsRuntime
+from ..mpi.baseline import BaselineConfig, BaselineRuntime
+from ..network import Cluster, ClusterSpec
+from ..noise import NoiseConfig, NoiseInjector
+from ..storm import JobSpec
+from ..units import seconds, to_seconds
+
+#: Watchdog for every harness run (simulated time).
+DEFAULT_MAX_TIME = seconds(3600)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run."""
+
+    backend: str
+    app_name: str
+    n_ranks: int
+    runtime_ns: int
+    stats: Dict[str, int]
+    results: list
+
+    @property
+    def runtime_s(self) -> float:
+        """Wall-clock (simulated) seconds."""
+        return to_seconds(self.runtime_ns)
+
+
+@dataclass
+class Comparison:
+    """BCS vs baseline on the same workload."""
+
+    bcs: RunResult
+    baseline: RunResult
+
+    @property
+    def slowdown_pct(self) -> float:
+        """BCS slowdown relative to the baseline, percent.
+
+        Positive = BCS slower (the usual case); negative = BCS wins
+        (SAGE / non-blocking SWEEP3D in Table 2).
+        """
+        return 100.0 * (self.bcs.runtime_ns - self.baseline.runtime_ns) / self.baseline.runtime_ns
+
+
+def nodes_for(n_ranks: int, cpus_per_node: int = 2) -> int:
+    """Compute nodes needed for ``n_ranks`` (paper: 2 ranks per node)."""
+    return math.ceil(n_ranks / cpus_per_node)
+
+
+def run_workload(
+    app: Callable,
+    n_ranks: int,
+    backend: str = "bcs",
+    params: Optional[dict] = None,
+    bcs_config: Optional[BcsConfig] = None,
+    baseline_config: Optional[BaselineConfig] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+    noise: Optional[NoiseConfig] = None,
+    seed: int = 0,
+    max_time: int = DEFAULT_MAX_TIME,
+    name: Optional[str] = None,
+) -> RunResult:
+    """Run ``app`` on a fresh cluster under the chosen backend."""
+    if cluster_spec is None:
+        cluster_spec = ClusterSpec(n_nodes=nodes_for(n_ranks), seed=seed)
+    cluster = Cluster(cluster_spec)
+    if noise is not None:
+        NoiseInjector(cluster, noise).start()
+
+    if backend == "bcs":
+        runtime: Any = BcsRuntime(cluster, bcs_config or BcsConfig())
+    elif backend == "baseline":
+        runtime = BaselineRuntime(cluster, baseline_config or BaselineConfig())
+    else:
+        raise ValueError(f"unknown backend {backend!r}; use 'bcs' or 'baseline'")
+
+    app_name = name or getattr(app, "__name__", "app")
+    spec = JobSpec(app=app, n_ranks=n_ranks, name=app_name, params=params or {})
+    job = runtime.run_job(spec, max_time=max_time)
+    return RunResult(
+        backend=backend,
+        app_name=app_name,
+        n_ranks=n_ranks,
+        runtime_ns=job.runtime,
+        stats=dict(runtime.stats),
+        results=job.results,
+    )
+
+
+def compare_backends(
+    app: Callable,
+    n_ranks: int,
+    params: Optional[dict] = None,
+    bcs_config: Optional[BcsConfig] = None,
+    baseline_config: Optional[BaselineConfig] = None,
+    noise: Optional[NoiseConfig] = None,
+    seed: int = 0,
+    max_time: int = DEFAULT_MAX_TIME,
+    name: Optional[str] = None,
+) -> Comparison:
+    """Run the same workload under both backends and compare runtimes."""
+    common = dict(
+        params=params, noise=noise, seed=seed, max_time=max_time, name=name
+    )
+    bcs = run_workload(app, n_ranks, "bcs", bcs_config=bcs_config, **common)
+    base = run_workload(
+        app, n_ranks, "baseline", baseline_config=baseline_config, **common
+    )
+    return Comparison(bcs=bcs, baseline=base)

@@ -1,0 +1,601 @@
+"""The production-MPI baseline ("Quadrics MPI" model).
+
+The paper compares BCS-MPI against Quadrics MPI (MPICH 1.2.4 over
+qsnetlibs).  This backend models that class of library on the same
+simulated cluster:
+
+- **eager protocol** below a threshold: data travels immediately with the
+  message; unexpected messages are buffered at the receiver and copied on
+  match;
+- **rendezvous protocol** above it: RTS control message, CTS once the
+  receive is posted, then the bulk DMA;
+- **host involvement**: every MPI call costs host CPU time (the overhead
+  BCS-MPI's NIC offload avoids);
+- **hardware collectives**: barrier on the network conditional, broadcast
+  on the hardware multicast, reduce as a host-side binomial tree over
+  point-to-point messages (same tree shape as the BCS Reduce Helper, so
+  floating-point results are comparable);
+- **no global quantization**: completions wake processes immediately —
+  this is what gives the baseline its point-to-point latency advantage;
+- **no asynchronous rendezvous progress**: like MPICH-era libraries
+  without a progress thread, a rendezvous transfer only advances while
+  the *receiver* is inside an MPI call.  A non-blocking large receive
+  posted before a long computation therefore moves its data during the
+  final MPI_Wait — whereas BCS-MPI's NIC threads move it during the
+  computation.  This asymmetry is the overlap advantage the paper
+  credits for SAGE and non-blocking SWEEP3D (§5.3–5.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..bcs.descriptors import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BcsRequest,
+    RecvDescriptor,
+    SendDescriptor,
+    payload_nbytes,
+)
+from ..bcs.matching import Matcher
+from ..bcs.runtime import CommInfo
+from ..bcs.threads import _copy_payload
+from ..network import Cluster
+from ..softfloat import reduce_buffers
+from ..storm.job import Job, JobSpec, block_placement
+from ..units import KiB, bw_time, seconds, us
+from .communicator import Communicator
+from .ops import resolve
+from .request import MpiRequest
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Timing model of the production MPI library."""
+
+    #: Host CPU cost of a blocking send/recv call.
+    call_overhead: int = us(1.6)
+    #: Host CPU cost of posting a non-blocking operation.
+    nb_call_overhead: int = us(1.1)
+    #: Host CPU cost of MPI_Wait/Waitall per call.
+    wait_overhead: int = us(0.9)
+    #: Eager/rendezvous switchover.
+    eager_threshold: int = 32 * KiB
+    #: Size of RTS/CTS control messages.
+    control_bytes: int = 96
+    #: Memory bandwidth for copying unexpected eager messages out of the
+    #: bounce buffer, bytes/s.
+    copy_bandwidth: float = 900e6
+    #: Extra latency of the hardware barrier beyond the network
+    #: conditional itself.
+    barrier_overhead: int = us(4)
+    #: Host reduce arithmetic, ns per element (P-III with PCI crossings).
+    host_reduce_cost_per_element: int = 30
+    #: MPI_Init + job launch cost (production MPI starts fast; the
+    #: paper's BCS prototype pays much more, which is what hurts IS).
+    init_cost: int = seconds(0.15)
+
+    def with_(self, **kw) -> "BaselineConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kw)
+
+
+class _CollectiveState:
+    """Per-(comm, epoch) rendezvous point for barriers and broadcasts."""
+
+    def __init__(self, env, n: int):
+        self.arrived = 0
+        self.n = n
+        self.done = env.event(name="coll")
+        self.value: Any = None
+
+
+class BaselineRuntime:
+    """Runtime for the production-MPI model on one cluster."""
+
+    def __init__(self, cluster: Cluster, config: Optional[BaselineConfig] = None):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config or BaselineConfig()
+        self.jobs: Dict[int, Job] = {}
+        self.comms: Dict[tuple, CommInfo] = {}
+        self._comm_by_members: Dict[tuple, CommInfo] = {}
+        #: One matcher per (job, comm, rank): baseline matching happens
+        #: in the library at the receiving process.
+        self.matchers: Dict[tuple, Matcher] = {}
+        self.coll_state: Dict[tuple, _CollectiveState] = {}
+        self.stats: Counter = Counter()
+        #: (job_id, world_rank) -> True while that process is inside an
+        #: MPI call (the only time the library can progress rendezvous).
+        self._in_mpi: Dict[tuple, bool] = {}
+        #: (job_id, world_rank) -> Signal pulsed on MPI entry.
+        self._mpi_entry: Dict[tuple, object] = {}
+
+    # -- registry -----------------------------------------------------------------
+
+    def comm_info(self, job_id: int, comm_id: int) -> CommInfo:
+        """Communicator metadata."""
+        return self.comms[(job_id, comm_id)]
+
+    def register_comm(self, job: Job, world_ranks: Sequence[int]) -> CommInfo:
+        """Create (or fetch) a communicator over a subset of a job's ranks."""
+        member_key = (job.id, tuple(world_ranks))
+        existing = self._comm_by_members.get(member_key)
+        if existing is not None:
+            return existing
+        comm_id = sum(1 for key in self.comms if key[0] == job.id)
+        info = CommInfo(job, comm_id, world_ranks)
+        self.comms[(job.id, comm_id)] = info
+        self._comm_by_members[member_key] = info
+        return info
+
+    def matcher(self, job_id: int, comm_id: int, rank: int) -> Matcher:
+        key = (job_id, comm_id, rank)
+        m = self.matchers.get(key)
+        if m is None:
+            m = Matcher(rank)
+            self.matchers[key] = m
+        return m
+
+    # -- progress-engine gating -------------------------------------------------
+
+    def _entry_signal(self, job_id: int, world_rank: int):
+        from ..sim import Signal
+
+        key = (job_id, world_rank)
+        sig = self._mpi_entry.get(key)
+        if sig is None:
+            sig = Signal(self.env, name=f"mpi_entry:{key}")
+            self._mpi_entry[key] = sig
+        return sig
+
+    def enter_mpi(self, job_id: int, world_rank: int) -> None:
+        """Mark a process as inside the MPI library (depth-counted)."""
+        key = (job_id, world_rank)
+        self._in_mpi[key] = self._in_mpi.get(key, 0) + 1
+        self._entry_signal(job_id, world_rank).pulse()
+
+    def exit_mpi(self, job_id: int, world_rank: int) -> None:
+        """Leave one nesting level of the MPI library."""
+        key = (job_id, world_rank)
+        self._in_mpi[key] = self._in_mpi.get(key, 1) - 1
+
+    def wait_progress_window(self, job_id: int, world_rank: int):
+        """Block until the receiver is inside an MPI call.
+
+        Models the lack of an asynchronous progress thread: rendezvous
+        data moves only while the receiving process is in the library.
+        """
+        while self._in_mpi.get((job_id, world_rank), 0) <= 0:
+            yield self._entry_signal(job_id, world_rank).wait()
+
+    # -- job lifecycle -----------------------------------------------------------------
+
+    def launch(self, spec: JobSpec, placement: Optional[List[int]] = None) -> Job:
+        """Start a job under the production-MPI model."""
+        if placement is None:
+            placement = block_placement(
+                spec.n_ranks,
+                self.cluster.n_compute_nodes,
+                self.cluster.spec.cpus_per_node,
+            )
+        job = Job(self.env, spec, placement)
+        job.started_at = self.env.now
+        self.jobs[job.id] = job
+        self.register_comm(job, range(spec.n_ranks))
+
+        from .context import AppContext
+
+        for rank in range(spec.n_ranks):
+            comm = BaselineCommunicator(self, self.comm_info(job.id, 0), rank)
+            node_id = job.placement[rank]
+            ctx = AppContext(
+                self.env,
+                comm,
+                node_id,
+                compute_fn=self._make_compute(node_id),
+                job=job,
+                params=spec.params,
+            )
+            self.env.process(
+                self._rank_body(job, rank, ctx), name=f"{spec.name}.r{rank}"
+            )
+        return job
+
+    def _make_compute(self, node_id: int):
+        node = self.cluster.node(node_id)
+
+        def compute(_node_id: int, duration: int):
+            yield from node.host_compute(duration)
+
+        return compute
+
+    def _rank_body(self, job: Job, rank: int, ctx):
+        if self.config.init_cost:
+            yield self.env.timeout(self.config.init_cost)
+        result = yield from job.spec.app(ctx, **job.spec.params)
+        job.rank_finished(rank, result)
+
+    def run_job(
+        self,
+        spec: JobSpec,
+        placement: Optional[List[int]] = None,
+        max_time: Optional[int] = None,
+    ) -> Job:
+        """Launch a job and run until it completes (watchdog optional)."""
+        job = self.launch(spec, placement)
+        if max_time is None:
+            self.env.run(until=job.done)
+        else:
+            self.env.run(until=self.env.any_of([job.done, self.env.timeout(max_time)]))
+            if not job.complete:
+                raise RuntimeError(
+                    f"job {spec.name!r} did not finish within {max_time} ns "
+                    "(likely an application communication deadlock)"
+                )
+        return job
+
+    # -- transport ----------------------------------------------------------------------
+
+    def start_send(self, info: CommInfo, send: SendDescriptor) -> None:
+        """Inject a message: eager ships data now, rendezvous ships RTS.
+
+        Eager payloads are snapshotted here — the library copies them
+        into its bounce buffer at injection, so the application may
+        reuse the buffer as soon as the send completes.  Rendezvous
+        payloads are read at transfer time (the buffer must stay valid
+        until completion, as in real MPI).
+        """
+        if send.size <= self.config.eager_threshold:
+            send.payload = _copy_payload(send.payload)
+        self.env.process(self._send_proc(info, send), name="mpi.send")
+
+    def _send_proc(self, info: CommInfo, send: SendDescriptor):
+        cfg = self.config
+        fabric = self.cluster.fabric
+        src_node = info.node_of(send.src_rank)
+        dst_node = info.node_of(send.dst_rank)
+        eager = send.size <= cfg.eager_threshold
+        self.stats["eager" if eager else "rendezvous"] += 1
+
+        if eager:
+            yield from fabric.unicast(src_node, dst_node, send.size, label="eager")
+            send.request._finish()  # sender buffer reusable
+            self._arrive(info, send, data_arrived=True)
+            return
+
+        # Rendezvous: RTS carries the descriptor only.
+        yield from fabric.unicast(src_node, dst_node, cfg.control_bytes, label="rts")
+        self._arrive(info, send, data_arrived=False)
+
+    def _arrive(self, info: CommInfo, send: SendDescriptor, data_arrived: bool) -> None:
+        send.payload_here = data_arrived  # type: ignore[attr-defined]
+        matcher = self.matcher(send.job_id, send.comm_id, send.dst_rank)
+        match = matcher.add_send(send)
+        if match is not None:
+            self._on_match(info, match)
+
+    def post_recv(self, info: CommInfo, recv: RecvDescriptor) -> None:
+        """Register a posted receive with the library matcher."""
+        matcher = self.matcher(recv.job_id, recv.comm_id, recv.rank)
+        match = matcher.add_recv(recv)
+        if match is not None:
+            self._on_match(info, match)
+
+    def _on_match(self, info: CommInfo, match) -> None:
+        self.env.process(self._finish_match(info, match), name="mpi.match")
+
+    def _finish_match(self, info: CommInfo, match):
+        cfg = self.config
+        fabric = self.cluster.fabric
+        send, recv = match.send, match.recv
+        src_node = info.node_of(send.src_rank)
+        dst_node = info.node_of(send.dst_rank)
+
+        if getattr(send, "payload_here", False):
+            # Eager data is already on the node; unexpected arrivals cost
+            # a copy out of the bounce buffer.
+            if not recv.request.complete and send.size > 0:
+                yield self.env.timeout(bw_time(send.size, cfg.copy_bandwidth))
+        else:
+            # Rendezvous: without an async progress thread, nothing moves
+            # until the receiving process re-enters the MPI library.
+            recv_world = self._info_world_rank(info, send.dst_rank)
+            yield from self.wait_progress_window(send.job_id, recv_world)
+            # CTS back to the sender, then the bulk transfer.
+            yield from fabric.unicast(dst_node, src_node, cfg.control_bytes, label="cts")
+            yield from fabric.unicast(src_node, dst_node, send.size, label="rdv")
+            send.request._finish()
+
+        recv.request.payload = _copy_payload(send.payload)
+        recv.request.source = send.src_rank
+        recv.request.tag = send.tag
+        recv.request.size = send.size
+        recv.request._finish()
+        self.stats["messages_delivered"] += 1
+
+    # -- collectives ----------------------------------------------------------------------
+
+    @staticmethod
+    def _info_world_rank(info: CommInfo, comm_rank: int) -> int:
+        return info.world_ranks[comm_rank]
+
+    def sync_point(self, info: CommInfo, epoch_key: tuple) -> _CollectiveState:
+        """Get/create the rendezvous state for one collective instance."""
+        state = self.coll_state.get(epoch_key)
+        if state is None:
+            state = _CollectiveState(self.env, info.size)
+            self.coll_state[epoch_key] = state
+        return state
+
+
+class BaselineCommunicator(Communicator):
+    """An MPI communicator backed by the production-MPI model."""
+
+    _TREE_TAG = -2001
+
+    def __init__(self, runtime: BaselineRuntime, info: CommInfo, comm_rank: int):
+        self._runtime = runtime
+        self._info = info
+        self._rank = comm_rank
+        self._send_seq: Dict[int, int] = {}
+        self._epochs: Dict[str, int] = {}
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._info.size
+
+    @property
+    def backend_name(self) -> str:
+        """Identifies the runtime flavour ("baseline")."""
+        return "baseline"
+
+    @property
+    def env(self):
+        return self._runtime.env
+
+    def split(self, member_ranks: Sequence[int]) -> Optional["BaselineCommunicator"]:
+        """Sub-communicator over the given ranks of this communicator."""
+        world_ranks = [self._info.world_ranks[r] for r in member_ranks]
+        if self._rank not in member_ranks:
+            return None
+        new_info = self._runtime.register_comm(self._info.job, world_ranks)
+        return BaselineCommunicator(
+            self._runtime, new_info, list(member_ranks).index(self._rank)
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _in_lib(self):
+        """Context marking this process as inside the MPI library.
+
+        While the flag is up the runtime may progress rendezvous
+        transfers destined to this process.
+        """
+        from contextlib import contextmanager
+
+        runtime = self._runtime
+        job_id = self._info.job.id
+        world = self._info.world_ranks[self._rank]
+
+        @contextmanager
+        def section():
+            runtime.enter_mpi(job_id, world)
+            try:
+                yield
+            finally:
+                runtime.exit_mpi(job_id, world)
+
+        return section()
+
+    def _overhead(self, cost: int) -> Generator:
+        node = self._runtime.cluster.node(self._info.node_of(self._rank))
+        yield from node.cpu.held(cost)
+
+    def _next_seq(self, dst: int) -> int:
+        seq = self._send_seq.get(dst, 0)
+        self._send_seq[dst] = seq + 1
+        return seq
+
+    def _next_epoch(self, kind: str) -> int:
+        # All ranks call collectives in the same order, so a local
+        # counter names the instance consistently across ranks.
+        epoch = self._epochs.get(kind, 0) + 1
+        self._epochs[kind] = epoch
+        return epoch
+
+    def _make_send(self, data, dest, tag, size) -> SendDescriptor:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} outside communicator")
+        req = BcsRequest(self.env, "send")
+        return SendDescriptor(
+            job_id=self._info.job.id,
+            comm_id=self._info.comm_id,
+            src_rank=self._rank,
+            dst_rank=dest,
+            tag=tag,
+            size=payload_nbytes(data, size),
+            request=req,
+            payload=data,
+            seq=self._next_seq(dest),
+        )
+
+    def _make_recv(self, source, tag, size) -> RecvDescriptor:
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(f"source rank {source} outside communicator")
+        req = BcsRequest(self.env, "recv")
+        return RecvDescriptor(
+            job_id=self._info.job.id,
+            comm_id=self._info.comm_id,
+            rank=self._rank,
+            src_rank=source,
+            tag=tag,
+            capacity=(1 << 62) if size is None else size,
+            request=req,
+        )
+
+    # -- point-to-point --------------------------------------------------------------
+
+    def isend(self, data: Any = None, dest: int = 0, tag: int = 0, size=None) -> MpiRequest:
+        send = self._make_send(data, dest, tag, size)
+        self._runtime.start_send(self._info, send)
+        return MpiRequest(send.request, "isend")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, size=None) -> MpiRequest:
+        recv = self._make_recv(source, tag, size)
+        self._runtime.post_recv(self._info, recv)
+        return MpiRequest(recv.request, "irecv")
+
+    def send(self, data: Any = None, dest: int = 0, tag: int = 0, size=None) -> Generator:
+        with self._in_lib():
+            yield from self._overhead(self._runtime.config.call_overhead)
+            req = self.isend(data, dest, tag, size)
+            if not req.complete:
+                yield req.done
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, size=None) -> Generator:
+        with self._in_lib():
+            yield from self._overhead(self._runtime.config.call_overhead)
+            req = self.irecv(source, tag, size)
+            if not req.complete:
+                yield req.done
+        return req.payload
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Check the unexpected queue for a matching arrival."""
+        matcher = self._runtime.matcher(
+            self._info.job.id, self._info.comm_id, self._rank
+        )
+        probe = self._make_recv(source, tag, None)
+        return any(probe.matches(s) for s in matcher.unexpected)
+
+    # -- completion ---------------------------------------------------------------------
+
+    def wait(self, req: MpiRequest) -> Generator:
+        with self._in_lib():
+            yield from self._overhead(self._runtime.config.wait_overhead)
+            if not req.complete:
+                yield req.done
+        return req.payload
+
+    def waitall(self, reqs: Sequence[MpiRequest]) -> Generator:
+        with self._in_lib():
+            yield from self._overhead(self._runtime.config.wait_overhead)
+            pending = [r.done for r in reqs if not r.complete]
+            if pending:
+                yield self.env.all_of(pending)
+        return [r.payload for r in reqs]
+
+    # -- collectives -----------------------------------------------------------------------
+
+    def barrier(self) -> Generator:
+        """Hardware barrier: network conditional over the comm's nodes."""
+        runtime = self._runtime
+        with self._in_lib():
+            yield from self._barrier_body()
+        runtime.stats["barriers"] += 1
+
+    def _barrier_body(self) -> Generator:
+        runtime = self._runtime
+        yield from self._overhead(runtime.config.call_overhead)
+        key = (self._info.job.id, self._info.comm_id, "bar", self._next_epoch("bar"))
+        state = runtime.sync_point(self._info, key)
+        state.arrived += 1
+        if state.arrived == state.n:
+            yield from runtime.cluster.fabric.conditional(
+                self._info.node_of(self._rank), len(self._info.nodes)
+            )
+            yield self.env.timeout(runtime.config.barrier_overhead)
+            state.done.succeed(None)
+        else:
+            yield state.done
+
+    def bcast(self, data: Any = None, root: int = 0, size=None) -> Generator:
+        """Hardware-multicast broadcast from the root's node."""
+        runtime = self._runtime
+        with self._in_lib():
+            result = yield from self._bcast_body(data, root, size)
+        return result
+
+    def _bcast_body(self, data, root, size) -> Generator:
+        runtime = self._runtime
+        yield from self._overhead(runtime.config.call_overhead)
+        key = (self._info.job.id, self._info.comm_id, "bc", self._next_epoch("bc"))
+        state = runtime.sync_point(self._info, key)
+        state.arrived += 1
+        if self._rank == root:
+            state.value = data
+            yield from runtime.cluster.fabric.multicast(
+                self._info.node_of(root),
+                self._info.nodes,
+                payload_nbytes(data, size),
+                label="bcast",
+            )
+            state.done.succeed(None)
+        elif not state.done.triggered:
+            yield state.done
+        runtime.stats["bcasts"] += 1
+        return _copy_payload(state.value)
+
+    def reduce(self, data: Any, op, root: int = 0) -> Generator:
+        """Host-side binomial tree over point-to-point messages."""
+        with self._in_lib():
+            result = yield from self._tree_reduce(data, op, root)
+        return result if self._rank == root else None
+
+    def allreduce(self, data: Any, op) -> Generator:
+        """Reduce to rank 0 then hardware broadcast."""
+        with self._in_lib():
+            partial = yield from self._tree_reduce(data, op, 0)
+            result = yield from self._bcast_body(partial, 0, None)
+        return result
+
+    def _tree_reduce(self, data: Any, op, root: int) -> Generator:
+        """Binomial gather tree (same shape as the BCS Reduce Helper)."""
+        runtime = self._runtime
+        kernel = resolve(op).kernel
+        yield from self._overhead(runtime.config.call_overhead)
+        n = self.size
+        epoch = self._next_epoch("red")
+        tag = self._TREE_TAG - epoch % 1000
+        vidx = (self._rank - root) % n
+        partial = _copy_payload(data)
+
+        rnd = 0
+        while (1 << rnd) < n:
+            step = 1 << rnd
+            if vidx % (step << 1) == 0:
+                peer = vidx + step
+                if peer < n:
+                    incoming = yield from self.recv(
+                        source=(peer + root) % n, tag=tag
+                    )
+                    cost = (
+                        incoming.size
+                        if isinstance(incoming, np.ndarray)
+                        else 1
+                    ) * runtime.config.host_reduce_cost_per_element
+                    yield self.env.timeout(cost)
+                    partial = self._combine(kernel, partial, incoming)
+            elif vidx % (step << 1) == step:
+                yield from self.send(partial, dest=(vidx - step + root) % n, tag=tag)
+                return None
+            rnd += 1
+        return partial
+
+    @staticmethod
+    def _combine(kernel: str, a, b):
+        if isinstance(a, np.ndarray):
+            return reduce_buffers(kernel, [a, b], path="host")
+        return reduce_buffers(kernel, [np.asarray(a), np.asarray(b)], path="host").item()

@@ -1,0 +1,390 @@
+"""The backend-neutral MPI communicator interface.
+
+Applications are written once against this interface and run unchanged on
+either backend:
+
+- :class:`repro.mpi.bcs_backend.BcsCommunicator` — BCS-MPI (the paper's
+  system: descriptors, global scheduling, NIC threads).
+- :class:`repro.mpi.baseline.BaselineCommunicator` — a production-style
+  "Quadrics MPI" model (eager/rendezvous, host-driven).
+
+Call convention (mirrors the mpi4py split the ecosystem uses):
+
+- *Blocking* operations are **sub-generators**: ``yield from comm.send(...)``.
+- *Non-blocking* operations are **plain calls** returning
+  :class:`~repro.mpi.request.MpiRequest` immediately: ``req = comm.isend(...)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from .ops import Op
+from .request import MpiRequest
+
+#: Wildcards, re-exported at the MPI surface.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+def _stack(chunks):
+    """Stack per-destination chunks into one reducible array."""
+    return np.stack([np.asarray(c, dtype=np.float64) for c in chunks])
+
+
+class Communicator(abc.ABC):
+    """Abstract MPI communicator bound to one rank of one job."""
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+
+    # -- point-to-point, non-blocking ----------------------------------------------
+
+    @abc.abstractmethod
+    def isend(
+        self,
+        data: Any = None,
+        dest: int = 0,
+        tag: int = 0,
+        size: Optional[int] = None,
+    ) -> MpiRequest:
+        """Post a non-blocking send of ``data`` (or ``size`` timing bytes)."""
+
+    @abc.abstractmethod
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        size: Optional[int] = None,
+    ) -> MpiRequest:
+        """Post a non-blocking receive with buffer capacity ``size``."""
+
+    # -- point-to-point, blocking ---------------------------------------------------
+
+    @abc.abstractmethod
+    def send(
+        self,
+        data: Any = None,
+        dest: int = 0,
+        tag: int = 0,
+        size: Optional[int] = None,
+    ) -> Generator:
+        """Blocking send; completes when the message has been delivered."""
+
+    @abc.abstractmethod
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        size: Optional[int] = None,
+    ) -> Generator:
+        """Blocking receive; returns the delivered payload."""
+
+    # -- persistent requests (MPI_Send_init / MPI_Recv_init) -----------------------
+
+    def send_init(
+        self, data: Any = None, dest: int = 0, tag: int = 0, size: Optional[int] = None
+    ):
+        """Create a persistent send; activate rounds with ``.start()``."""
+        from .request import PersistentRequest
+
+        return PersistentRequest(
+            lambda: self.isend(data, dest=dest, tag=tag, size=size), "send"
+        )
+
+    def recv_init(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        size: Optional[int] = None,
+    ):
+        """Create a persistent receive; activate rounds with ``.start()``."""
+        from .request import PersistentRequest
+
+        return PersistentRequest(
+            lambda: self.irecv(source=source, tag=tag, size=size), "recv"
+        )
+
+    def startall(self, persistent_reqs: Sequence) -> List[MpiRequest]:
+        """MPI_Startall: activate a set of persistent requests."""
+        return [p.start() for p in persistent_reqs]
+
+    # -- completion -------------------------------------------------------------------
+
+    def test(self, req: MpiRequest) -> bool:
+        """Non-blocking completion check."""
+        return req.complete
+
+    def testall(self, reqs: Sequence[MpiRequest]) -> bool:
+        """Non-blocking check of a request set."""
+        return all(r.complete for r in reqs)
+
+    @abc.abstractmethod
+    def wait(self, req: MpiRequest) -> Generator:
+        """Block until ``req`` completes; returns its payload."""
+
+    @abc.abstractmethod
+    def waitall(self, reqs: Sequence[MpiRequest]) -> Generator:
+        """Block until every request completes; returns their payloads."""
+
+    # -- collectives ----------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def barrier(self) -> Generator:
+        """Synchronize all ranks."""
+
+    @abc.abstractmethod
+    def bcast(self, data: Any = None, root: int = 0, size: Optional[int] = None) -> Generator:
+        """Broadcast from ``root``; every rank returns the payload."""
+
+    @abc.abstractmethod
+    def reduce(self, data: Any, op: Op, root: int = 0) -> Generator:
+        """Reduce to ``root``; root returns the result, others None."""
+
+    @abc.abstractmethod
+    def allreduce(self, data: Any, op: Op) -> Generator:
+        """Reduce; every rank returns the result."""
+
+    # -- composed collectives (built on p2p, paper Appendix A) -------------------------------
+
+    def scatter(self, chunks: Optional[Sequence[Any]] = None, root: int = 0) -> Generator:
+        """Scatter one chunk per rank from ``root``; returns this rank's chunk."""
+        return self._scatter_impl(chunks, root)
+
+    # -- vectorial variants (paper Fig. 12: bcs_scatter(vectorial) etc.) ------
+
+    def scatterv(
+        self,
+        chunks: Optional[Sequence[Any]] = None,
+        root: int = 0,
+        sizes: Optional[Sequence[int]] = None,
+    ) -> Generator:
+        """MPI_Scatterv: per-rank chunks of differing sizes.
+
+        ``sizes`` (one entry per rank, known at every rank, as in MPI's
+        recvcounts) bounds each receive; None derives sizes from the
+        chunks at the root.
+        """
+        return self._scatterv_impl(chunks, root, sizes)
+
+    def gatherv(self, data: Any, root: int = 0) -> Generator:
+        """MPI_Gatherv: gather variable-size contributions at ``root``."""
+        return self._gather_impl(data, root)  # sizes ride with payloads
+
+    def allgatherv(self, data: Any) -> Generator:
+        """MPI_Allgatherv: variable-size allgather."""
+        return self._allgather_impl(data)
+
+    def alltoallv(
+        self, chunks: Sequence[Any], sizes: Optional[Sequence[int]] = None
+    ) -> Generator:
+        """MPI_Alltoallv: personalized exchange with per-pair sizes.
+
+        ``sizes[j]`` bounds what rank j sends us; None leaves receives
+        unbounded (the payload carries its own size).
+        """
+        return self._alltoallv_impl(chunks, sizes)
+
+    def gather(self, data: Any, root: int = 0) -> Generator:
+        """Gather every rank's data at ``root`` (list indexed by rank)."""
+        return self._gather_impl(data, root)
+
+    def allgather(self, data: Any) -> Generator:
+        """Gather everywhere: every rank returns the full list."""
+        return self._allgather_impl(data)
+
+    def alltoall(self, chunks: Sequence[Any]) -> Generator:
+        """Personalized exchange: rank i sends chunks[j] to rank j."""
+        return self._alltoall_impl(chunks)
+
+    def sendrecv(
+        self,
+        senddata: Any = None,
+        dest: int = 0,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        size: Optional[int] = None,
+        recvsize: Optional[int] = None,
+    ) -> Generator:
+        """MPI_Sendrecv: simultaneous send and receive (deadlock-free)."""
+        return self._sendrecv_impl(
+            senddata, dest, source, sendtag, recvtag, size, recvsize
+        )
+
+    def scan(self, data: Any, op: Op) -> Generator:
+        """MPI_Scan: inclusive prefix reduction over ranks 0..self."""
+        return self._scan_impl(data, op, inclusive=True)
+
+    def exscan(self, data: Any, op: Op) -> Generator:
+        """MPI_Exscan: exclusive prefix reduction (rank 0 returns None)."""
+        return self._scan_impl(data, op, inclusive=False)
+
+    def reduce_scatter_block(self, chunks: Sequence[Any], op: Op) -> Generator:
+        """MPI_Reduce_scatter_block: reduce then scatter one chunk each."""
+        return self._reduce_scatter_impl(chunks, op)
+
+    # Default compositions over the abstract p2p/collective primitives.
+    # Backends may override with faster native protocols.
+
+    _SCATTER_TAG = -1001
+    _GATHER_TAG = -1002
+    _ALLTOALL_TAG = -1003
+    _SENDRECV_TAG_BASE = -1004
+    _SCAN_TAG = -1005
+    _RSCAT_TAG = -1006
+
+    def _scatter_impl(self, chunks, root):
+        if self.rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise ValueError("scatter root needs one chunk per rank")
+            reqs = [
+                self.isend(chunks[r], dest=r, tag=self._SCATTER_TAG)
+                for r in range(self.size)
+                if r != root
+            ]
+            yield from self.waitall(reqs)
+            return chunks[root]
+        payload = yield from self.recv(source=root, tag=self._SCATTER_TAG)
+        return payload
+
+    def _gather_impl(self, data, root):
+        if self.rank == root:
+            reqs = {
+                r: self.irecv(source=r, tag=self._GATHER_TAG)
+                for r in range(self.size)
+                if r != root
+            }
+            yield from self.waitall(list(reqs.values()))
+            out: List[Any] = [None] * self.size
+            out[root] = data
+            for r, req in reqs.items():
+                out[r] = req.payload
+            return out
+        yield from self.send(data, dest=root, tag=self._GATHER_TAG)
+        return None
+
+    def _allgather_impl(self, data):
+        gathered = yield from self.gather(data, root=0)
+        result = yield from self.bcast(gathered, root=0)
+        return result
+
+    def _sendrecv_impl(self, senddata, dest, source, sendtag, recvtag, size, recvsize):
+        send_req = self.isend(senddata, dest=dest, tag=sendtag, size=size)
+        recv_req = self.irecv(source=source, tag=recvtag, size=recvsize)
+        yield from self.waitall([send_req, recv_req])
+        return recv_req.payload
+
+    def _scan_impl(self, data, op, inclusive):
+        """Linear-chain prefix reduction (deterministic order).
+
+        Rank r receives the prefix over 0..r-1 from rank r-1, combines,
+        and forwards the prefix over 0..r to rank r+1.
+        """
+        from ..softfloat import reduce_buffers
+        from .ops import resolve
+
+        import numpy as np
+
+        kernel = resolve(op).kernel
+
+        def combine(a, b):
+            if isinstance(a, np.ndarray):
+                return reduce_buffers(kernel, [a, b], path="host")
+            return reduce_buffers(
+                kernel, [np.asarray(a), np.asarray(b)], path="host"
+            ).item()
+
+        prefix_below = None
+        if self.rank > 0:
+            prefix_below = yield from self.recv(
+                source=self.rank - 1, tag=self._SCAN_TAG
+            )
+        running = data if prefix_below is None else combine(prefix_below, data)
+        if self.rank + 1 < self.size:
+            yield from self.send(running, dest=self.rank + 1, tag=self._SCAN_TAG)
+        if inclusive:
+            return running
+        return prefix_below  # None on rank 0, as MPI_Exscan leaves it
+
+    def _reduce_scatter_impl(self, chunks, op):
+        if len(chunks) != self.size:
+            raise ValueError("reduce_scatter needs one chunk per rank")
+        reduced = yield from self.reduce(_stack(chunks), op, root=0)
+        mine = yield from self.scatter(
+            list(reduced) if self.rank == 0 else None, root=0
+        )
+        return mine
+
+    def _alltoall_impl(self, chunks):
+        if len(chunks) != self.size:
+            raise ValueError("alltoall needs one chunk per rank")
+        sends = [
+            self.isend(chunks[r], dest=r, tag=self._ALLTOALL_TAG)
+            for r in range(self.size)
+            if r != self.rank
+        ]
+        recvs = {
+            r: self.irecv(source=r, tag=self._ALLTOALL_TAG)
+            for r in range(self.size)
+            if r != self.rank
+        }
+        yield from self.waitall(sends + list(recvs.values()))
+        out: List[Any] = [None] * self.size
+        out[self.rank] = chunks[self.rank]
+        for r, req in recvs.items():
+            out[r] = req.payload
+        return out
+
+    def _scatterv_impl(self, chunks, root, sizes):
+        if self.rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise ValueError("scatterv root needs one chunk per rank")
+            reqs = [
+                self.isend(chunks[r], dest=r, tag=self._SCATTER_TAG)
+                for r in range(self.size)
+                if r != root
+            ]
+            yield from self.waitall(reqs)
+            return chunks[root]
+        cap = None if sizes is None else sizes[self.rank]
+        payload = yield from self.recv(source=root, tag=self._SCATTER_TAG, size=cap)
+        return payload
+
+    def _alltoallv_impl(self, chunks, sizes):
+        if len(chunks) != self.size:
+            raise ValueError("alltoallv needs one chunk per rank")
+        if sizes is not None and len(sizes) != self.size:
+            raise ValueError("alltoallv needs one size per rank")
+        sends = [
+            self.isend(chunks[r], dest=r, tag=self._ALLTOALL_TAG)
+            for r in range(self.size)
+            if r != self.rank
+        ]
+        recvs = {
+            r: self.irecv(
+                source=r,
+                tag=self._ALLTOALL_TAG,
+                size=None if sizes is None else sizes[r],
+            )
+            for r in range(self.size)
+            if r != self.rank
+        }
+        yield from self.waitall(sends + list(recvs.values()))
+        out: List[Any] = [None] * self.size
+        out[self.rank] = chunks[self.rank]
+        for r, req in recvs.items():
+            out[r] = req.payload
+        return out

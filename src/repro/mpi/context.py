@@ -1,0 +1,64 @@
+"""Per-rank application context.
+
+Each rank's app generator receives an :class:`AppContext`: its identity,
+its communicator, and a ``compute`` primitive that consumes (simulated)
+CPU time subject to the runtime's scheduling model — the BCS runtime
+applies the user-level Node Manager tax, and either runtime can layer OS
+noise on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..sim import Engine
+from .communicator import Communicator
+
+
+class AppContext:
+    """What one rank of a running job sees."""
+
+    def __init__(
+        self,
+        env: Engine,
+        comm: Communicator,
+        node_id: int,
+        compute_fn: Callable[[int, int], Generator],
+        job=None,
+        params: Optional[dict] = None,
+    ):
+        self.env = env
+        self.comm = comm
+        self.node_id = node_id
+        self._compute_fn = compute_fn
+        self.job = job
+        self.params = dict(params or {})
+
+    @property
+    def rank(self) -> int:
+        """This process's rank."""
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        """The job's rank count."""
+        return self.comm.size
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (ns)."""
+        return self.env.now
+
+    def compute(self, duration: int) -> Generator:
+        """Perform ``duration`` ns of computation on this node's CPU.
+
+        The actual elapsed time depends on the runtime: CPU contention,
+        the BCS Node Manager's per-slice overhead, and injected OS noise
+        all stretch it.
+        """
+        if duration < 0:
+            raise ValueError("negative compute duration")
+        yield from self._compute_fn(self.node_id, duration)
+
+    def __repr__(self) -> str:
+        return f"<AppContext rank={self.rank}/{self.size} node={self.node_id}>"

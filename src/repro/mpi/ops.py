@@ -1,0 +1,50 @@
+"""MPI reduction operations.
+
+Maps the MPI op vocabulary onto the kernels in
+:mod:`repro.softfloat.ops`, which provides both the host (numpy) and NIC
+(softfloat) evaluation paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Op:
+    """One MPI reduction operation."""
+
+    name: str
+    #: Kernel key understood by :func:`repro.softfloat.ops.reduce_buffers`.
+    kernel: str
+    commutative: bool = True
+
+    def __repr__(self) -> str:
+        return f"<Op {self.name}>"
+
+
+SUM = Op("MPI_SUM", "sum")
+PROD = Op("MPI_PROD", "prod")
+MIN = Op("MPI_MIN", "min")
+MAX = Op("MPI_MAX", "max")
+LAND = Op("MPI_LAND", "land")
+LOR = Op("MPI_LOR", "lor")
+BAND = Op("MPI_BAND", "band")
+BOR = Op("MPI_BOR", "bor")
+BXOR = Op("MPI_BXOR", "bxor")
+
+BY_NAME = {
+    op.name: op for op in (SUM, PROD, MIN, MAX, LAND, LOR, BAND, BOR, BXOR)
+}
+
+
+def resolve(op) -> Op:
+    """Accept an :class:`Op`, an MPI name, or a bare kernel key."""
+    if isinstance(op, Op):
+        return op
+    if op in BY_NAME:
+        return BY_NAME[op]
+    for candidate in BY_NAME.values():
+        if candidate.kernel == op:
+            return candidate
+    raise ValueError(f"unknown reduce op {op!r}")

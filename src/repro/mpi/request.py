@@ -1,0 +1,89 @@
+"""MPI request handles (MPI_Request).
+
+A thin, backend-neutral wrapper: both the BCS backend (whose requests are
+:class:`repro.bcs.descriptors.BcsRequest`) and the baseline backend expose
+objects with a ``complete`` flag, a ``done`` event, and receive metadata;
+this wrapper narrows them to the MPI surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .status import Status
+
+
+class PersistentRequest:
+    """MPI persistent communication request (MPI_Send_init/Recv_init).
+
+    Captures the call's arguments once; each :meth:`start` posts a fresh
+    instance of the operation through the owning communicator.  Between
+    a completion and the next ``start`` the handle is *inactive*.
+    """
+
+    __slots__ = ("_post", "kind", "active")
+
+    def __init__(self, post, kind: str):
+        self._post = post
+        self.kind = kind
+        #: The in-flight request of the current round (None if inactive).
+        self.active: Optional["MpiRequest"] = None
+
+    def start(self) -> "MpiRequest":
+        """Activate the operation; returns this round's request."""
+        if self.active is not None and not self.active.complete:
+            raise RuntimeError("persistent request already active")
+        self.active = self._post()
+        return self.active
+
+    @property
+    def complete(self) -> bool:
+        """Whether the current round (if any) has finished."""
+        return self.active is None or self.active.complete
+
+    @property
+    def payload(self):
+        """The last round's delivered payload."""
+        return None if self.active is None else self.active.payload
+
+    def __repr__(self) -> str:
+        state = "inactive" if self.active is None else (
+            "done" if self.active.complete else "active"
+        )
+        return f"<PersistentRequest {self.kind} {state}>"
+
+
+class MpiRequest:
+    """Handle for a pending non-blocking operation."""
+
+    __slots__ = ("backend_req", "kind")
+
+    def __init__(self, backend_req, kind: str):
+        self.backend_req = backend_req
+        self.kind = kind
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation has finished."""
+        return self.backend_req.complete
+
+    @property
+    def done(self):
+        """The completion event (internal; used by wait implementations)."""
+        return self.backend_req.done
+
+    @property
+    def payload(self) -> Any:
+        """Delivered data (receives), available once complete."""
+        return self.backend_req.payload
+
+    def status(self) -> Optional[Status]:
+        """Receive metadata, or None if not complete / not a receive."""
+        req = self.backend_req
+        if not self.complete or req.source is None:
+            return None
+        return Status(source=req.source, tag=req.tag, count_bytes=req.size or 0)
+
+    def __repr__(self) -> str:
+        state = "done" if self.complete else "pending"
+        return f"<MpiRequest {self.kind} {state}>"

@@ -1,0 +1,20 @@
+"""MPI_Status: metadata of a completed receive."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Status:
+    """Source, tag, and byte count of a matched message."""
+
+    source: int
+    tag: int
+    count_bytes: int
+
+    def get_count(self, extent: int = 1) -> int:
+        """Number of elements of size ``extent`` in the message."""
+        if extent <= 0:
+            raise ValueError("extent must be positive")
+        return self.count_bytes // extent

@@ -1,0 +1,34 @@
+"""Cluster and interconnect substrate (the simulated QsNet testbed)."""
+
+from .cluster import Cluster, ClusterSpec, Node
+from .fabric import Fabric
+from .model import (
+    MODELS,
+    NetworkModel,
+    bluegene_l,
+    by_name,
+    gigabit_ethernet,
+    infiniband,
+    myrinet,
+    qsnet,
+)
+from .nic import Nic, NicEvent
+from .topology import FatTree
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Fabric",
+    "FatTree",
+    "MODELS",
+    "NetworkModel",
+    "Nic",
+    "NicEvent",
+    "Node",
+    "bluegene_l",
+    "by_name",
+    "gigabit_ethernet",
+    "infiniband",
+    "myrinet",
+    "qsnet",
+]

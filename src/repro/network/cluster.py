@@ -1,0 +1,122 @@
+"""Cluster assembly: nodes, NICs, fabric.
+
+A :class:`Cluster` is the simulated analogue of the paper's "crescendo"
+testbed: ``n_nodes`` compute nodes (dual-CPU by default) plus one
+management node, all on one interconnect.  The management node is always
+the *last* index (``cluster.management_node``), mirroring the paper's
+separate Dell 2550; compute ranks use indices ``0..n_nodes-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..sim import Engine, NullTrace, Resource, RngRegistry, Trace
+from .fabric import Fabric
+from .model import NetworkModel, qsnet
+from .nic import Nic
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a cluster."""
+
+    n_nodes: int = 32
+    cpus_per_node: int = 2
+    model: NetworkModel = field(default_factory=qsnet)
+    #: Per-operation NIC thread cost, ns (0 disables the cost model).
+    nic_thread_op_cost: int = 200
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("need at least one compute node")
+        if self.cpus_per_node < 1:
+            raise ValueError("need at least one CPU per node")
+
+
+class Node:
+    """One compute (or management) node."""
+
+    def __init__(self, env: Engine, node_id: int, cpus: int, nic: Nic):
+        self.env = env
+        self.id = node_id
+        self.nic = nic
+        #: Host CPUs; computation and host-side MPI overhead serialize here.
+        self.cpu = Resource(env, capacity=cpus, name=f"node{node_id}.cpu")
+        #: Arbitrary per-node key/value state (global memory attaches here).
+        self.state: dict = {}
+        #: When > 0, long computations release the CPU every this many ns
+        #: so competing daemons (noise) can preempt.  Zero keeps compute
+        #: monolithic and cheap; the noise injector turns this on.
+        self.preempt_quantum = 0
+
+    def host_compute(self, duration: int) -> Generator:
+        """Occupy one host CPU for ``duration`` ns (quantized if enabled)."""
+        if duration <= 0:
+            return
+        quantum = self.preempt_quantum
+        if quantum <= 0 or duration <= quantum:
+            yield from self.cpu.held(duration)
+            return
+        remaining = duration
+        while remaining > 0:
+            step = quantum if remaining > quantum else remaining
+            yield from self.cpu.held(step)
+            remaining -= step
+
+    def __repr__(self) -> str:
+        return f"<Node {self.id} cpus={self.cpu.capacity}>"
+
+
+class Cluster:
+    """A simulated cluster: engine + nodes + fabric + RNG + trace."""
+
+    def __init__(self, spec: ClusterSpec | None = None, trace: Optional[Trace] = None):
+        self.spec = spec or ClusterSpec()
+        self.trace = trace if trace is not None else NullTrace()
+        self.env = Engine(trace=self.trace)
+        self.rng = RngRegistry(self.spec.seed)
+
+        total = self.spec.n_nodes + 1  # + management node
+        self.nodes: List[Node] = []
+        nics = []
+        for node_id in range(total):
+            nic = Nic(
+                self.env, node_id, thread_op_cost=self.spec.nic_thread_op_cost
+            )
+            nics.append(nic)
+            self.nodes.append(
+                Node(self.env, node_id, self.spec.cpus_per_node, nic)
+            )
+        self.fabric = Fabric(self.env, self.spec.model, nics, trace=self.trace)
+
+    @property
+    def n_compute_nodes(self) -> int:
+        """Number of compute nodes (excludes the management node)."""
+        return self.spec.n_nodes
+
+    @property
+    def management_node(self) -> Node:
+        """The management node (runs the MM / Strobe Sender)."""
+        return self.nodes[-1]
+
+    @property
+    def compute_nodes(self) -> List[Node]:
+        """All compute nodes, in id order."""
+        return self.nodes[: self.spec.n_nodes]
+
+    def node(self, node_id: int) -> Node:
+        """Node by id (compute ids first, management node last)."""
+        return self.nodes[node_id]
+
+    def run(self, until=None):
+        """Run the underlying engine (convenience passthrough)."""
+        return self.env.run(until=until)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster n={self.spec.n_nodes}+mgmt model={self.spec.model.name} "
+            f"t={self.env.now}>"
+        )

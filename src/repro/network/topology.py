@@ -1,0 +1,74 @@
+"""Fat-tree topology (QsNet Elite style).
+
+QsNet builds quaternary fat trees: each Elite switch has 8 links, 4 down
+and 4 up.  Nodes are leaves; the distance between two nodes is twice the
+number of levels to their lowest common ancestor.  We only need hop counts
+(for latency) and stage counts (for multicast depth), so the topology is
+computed arithmetically rather than materialized as a graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FatTree:
+    """A ``radix``-ary fat tree over ``n_nodes`` leaves."""
+
+    n_nodes: int
+    radix: int = 4
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.radix < 2:
+            raise ValueError("radix must be >= 2")
+
+    @property
+    def levels(self) -> int:
+        """Number of switch levels needed to connect all leaves."""
+        if self.n_nodes == 1:
+            return 1
+        return max(1, math.ceil(math.log(self.n_nodes, self.radix)))
+
+    def _ancestor_level(self, a: int, b: int) -> int:
+        """Level (1-based) of the lowest common ancestor switch of a, b."""
+        self._check(a)
+        self._check(b)
+        level = 1
+        span = self.radix
+        while a // span != b // span:
+            level += 1
+            span *= self.radix
+        return level
+
+    def hops(self, a: int, b: int) -> int:
+        """Switch hops on the route from node ``a`` to node ``b``.
+
+        Up to the lowest common ancestor and back down: ``2 * level``.
+        Same node: 0 (loopback never enters the network).
+        """
+        if a == b:
+            self._check(a)
+            return 0
+        return 2 * self._ancestor_level(a, b)
+
+    def multicast_hops(self, n_dests: int) -> int:
+        """Stages traversed by a hardware multicast covering ``n_dests``."""
+        if n_dests <= 1:
+            return 2
+        depth = max(1, math.ceil(math.log(n_dests, self.radix)))
+        return 2 * depth
+
+    def max_hops(self) -> int:
+        """Network diameter in hops."""
+        return 2 * self.levels
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise IndexError(f"node {node} outside [0, {self.n_nodes})")
+
+    def __repr__(self) -> str:
+        return f"<FatTree n={self.n_nodes} radix={self.radix} levels={self.levels}>"

@@ -1,0 +1,5 @@
+"""OS noise injection (uncoordinated dæmons vs global coordination)."""
+
+from .model import NoiseConfig, NoiseInjector
+
+__all__ = ["NoiseConfig", "NoiseInjector"]

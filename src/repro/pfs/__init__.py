@@ -1,0 +1,5 @@
+"""Parallel file system substrate with BCS QoS (paper §1 / §6)."""
+
+from .service import PFS_JOB_ID, PfsService, StripeMap, UncoordinatedPfs
+
+__all__ = ["PFS_JOB_ID", "PfsService", "StripeMap", "UncoordinatedPfs"]

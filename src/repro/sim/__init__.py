@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch, deterministic, integer-time DES engine in the SimPy style:
+processes are generator coroutines that yield :class:`Event` objects.
+"""
+
+from .engine import Engine
+from .errors import Deadlock, EventAlreadyTriggered, Interrupt, SimError
+from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .process import Process
+from .resources import Gate, Resource, Signal, Store
+from .rng import RngRegistry, derive_seed
+from .trace import NullTrace, Trace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Deadlock",
+    "Engine",
+    "Event",
+    "EventAlreadyTriggered",
+    "Gate",
+    "Interrupt",
+    "NullTrace",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Signal",
+    "SimError",
+    "Store",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+    "derive_seed",
+]

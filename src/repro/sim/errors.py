@@ -1,0 +1,34 @@
+"""Simulation kernel exceptions."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class EventAlreadyTriggered(SimError):
+    """An event was succeeded/failed more than once."""
+
+
+class Interrupt(SimError):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopEngine(SimError):
+    """Raised internally to stop :meth:`Engine.run` early."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Deadlock(SimError):
+    """``run(until=...)`` ran out of events before reaching the target."""

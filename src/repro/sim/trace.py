@@ -1,0 +1,78 @@
+"""Tracing and counters.
+
+A :class:`Trace` collects structured (time, category, fields) records and
+named counters.  All hot paths guard emission behind ``enabled_for`` so a
+disabled trace costs one dict lookup.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace record."""
+
+    time: int
+    category: str
+    fields: dict
+
+
+class Trace:
+    """Structured trace sink with per-category enable switches."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None, capture_all: bool = False):
+        self.capture_all = capture_all
+        self.categories = set(categories or ())
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+        self.histograms: Dict[str, List[float]] = defaultdict(list)
+
+    def enabled_for(self, category: str) -> bool:
+        """Whether records of ``category`` are captured."""
+        return self.capture_all or category in self.categories
+
+    def emit(self, time: int, category: str, **fields: Any) -> None:
+        """Record an event if its category is enabled."""
+        if self.enabled_for(category):
+            self.records.append(TraceRecord(time, category, fields))
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a counter (always on; counters are cheap)."""
+        self.counters[name] += amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Append a sample to a named histogram."""
+        self.histograms[name].append(value)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All captured records of a category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        """Drop all records, counters, and histograms."""
+        self.records.clear()
+        self.counters.clear()
+        self.histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Trace records={len(self.records)} "
+            f"counters={len(self.counters)} on={sorted(self.categories)}>"
+        )
+
+
+class NullTrace(Trace):
+    """A trace that captures nothing (default sink)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def enabled_for(self, category: str) -> bool:  # noqa: D102
+        return False
+
+    def emit(self, time: int, category: str, **fields: Any) -> None:  # noqa: D102
+        return None

@@ -1,0 +1,307 @@
+"""IEEE-754 binary64 arithmetic using integer operations only.
+
+Implements add, sub, mul, min, max and comparison with round-to-nearest-
+even, correct across normals, subnormals, zeros, infinities and NaNs.
+Property-tested bit-for-bit against the host FPU (see
+``tests/softfloat/``).
+
+The rounding machinery keeps three extra low-order bits (guard, round,
+sticky) through alignment and normalization, then rounds once at pack
+time — the standard SoftFloat structure.
+"""
+
+from __future__ import annotations
+
+from .bits import (
+    BIAS,
+    EXP_MASK,
+    EXP_SHIFT,
+    FRAC_BITS,
+    FRAC_MASK,
+    HIDDEN_BIT,
+    MAX_EXP,
+    NEG_INF,
+    POS_INF,
+    POS_ZERO,
+    QNAN,
+    SIGN_BIT,
+    is_inf,
+    is_nan,
+    is_zero,
+    pack,
+    significand,
+    unpack,
+)
+
+# Working significand layout: 53 significand bits at positions 3..55,
+# guard/round/sticky in the low 3 bits.
+_GRS_BITS = 3
+_TOP_BIT = 1 << (FRAC_BITS + 1 + 2 + _GRS_BITS - 3)  # == 1 << 55 leading bit
+_WORK_ONE = 1 << (FRAC_BITS + _GRS_BITS)  # hidden bit position in work layout
+
+
+def _round_pack(sign: int, exp: int, work: int) -> int:
+    """Round a working significand (GRS in low 3 bits) and pack.
+
+    ``exp`` is the biased exponent that corresponds to the hidden bit
+    sitting at position ``FRAC_BITS + 3`` of ``work``.
+    """
+    if exp <= 0:
+        # Subnormal range: shift right to biased exponent 1, keep sticky.
+        shift = 1 - exp
+        if shift > FRAC_BITS + _GRS_BITS + 2:
+            work = 1 if work else 0
+        else:
+            sticky = 1 if work & ((1 << shift) - 1) else 0
+            work = (work >> shift) | sticky
+        exp = 1
+
+    frac = work >> _GRS_BITS
+    guard = (work >> 2) & 1
+    rest = work & 3
+    if guard and (rest or (frac & 1)):
+        frac += 1
+        if frac >= (1 << (FRAC_BITS + 1)) << 1:  # pragma: no cover - carry past 2^54
+            frac >>= 1
+            exp += 1
+    if frac >= 1 << (FRAC_BITS + 1):
+        frac >>= 1
+        exp += 1
+
+    if frac >= HIDDEN_BIT:
+        if exp >= MAX_EXP:
+            return pack(sign, MAX_EXP, 0)  # overflow -> infinity
+        return pack(sign, exp, frac & FRAC_MASK)
+    # No hidden bit: subnormal (or zero); only reachable with exp == 1.
+    return pack(sign, 0, frac)
+
+
+def f64_add(a: int, b: int) -> int:
+    """Bit-pattern addition: a + b, round to nearest even."""
+    if is_nan(a) or is_nan(b):
+        return QNAN
+    a_inf, b_inf = is_inf(a), is_inf(b)
+    if a_inf or b_inf:
+        if a_inf and b_inf:
+            return a if a == b else QNAN  # inf + (-inf) is invalid
+        return a if a_inf else b
+    if is_zero(a) and is_zero(b):
+        # +0 + -0 = +0 under RNE; equal signs keep the sign.
+        return a if a == b else POS_ZERO
+    if is_zero(a):
+        return b
+    if is_zero(b):
+        return a
+
+    # Order by magnitude so alignment always shifts b.
+    if (a & ~SIGN_BIT) < (b & ~SIGN_BIT):
+        a, b = b, a
+    sa = a >> 63
+    sb = b >> 63
+    ma, ea = significand(a)
+    mb, eb = significand(b)
+    ma <<= _GRS_BITS
+    mb <<= _GRS_BITS
+
+    diff = ea - eb
+    if diff:
+        if diff > FRAC_BITS + _GRS_BITS + 2:
+            mb = 1  # pure sticky
+        else:
+            sticky = 1 if mb & ((1 << diff) - 1) else 0
+            mb = (mb >> diff) | sticky
+
+    exp = ea
+    if sa == sb:
+        work = ma + mb
+        if work >= _WORK_ONE << 1:
+            sticky = work & 1
+            work = (work >> 1) | sticky
+            exp += 1
+        return _round_pack(sa, exp, work)
+
+    # Opposite signs: |a| >= |b| so the result takes a's sign.
+    work = ma - mb
+    if work == 0:
+        return POS_ZERO  # exact cancellation is +0 under RNE
+    while work < _WORK_ONE and exp > 1:
+        work <<= 1
+        exp -= 1
+    return _round_pack(sa, exp, work)
+
+
+def f64_neg(a: int) -> int:
+    """Bit-pattern negation (sign flip; NaN kept NaN)."""
+    return a ^ SIGN_BIT
+
+
+def f64_sub(a: int, b: int) -> int:
+    """Bit-pattern subtraction: a - b."""
+    if is_nan(b):
+        return QNAN
+    return f64_add(a, f64_neg(b))
+
+
+def f64_mul(a: int, b: int) -> int:
+    """Bit-pattern multiplication: a * b, round to nearest even."""
+    if is_nan(a) or is_nan(b):
+        return QNAN
+    sign = (a >> 63) ^ (b >> 63)
+    a_inf, b_inf = is_inf(a), is_inf(b)
+    if a_inf or b_inf:
+        if is_zero(a) or is_zero(b):
+            return QNAN  # inf * 0 is invalid
+        return pack(sign, MAX_EXP, 0)
+    if is_zero(a) or is_zero(b):
+        return pack(sign, 0, 0)
+
+    ma, ea = significand(a)
+    mb, eb = significand(b)
+    # Normalize subnormal inputs so the product's leading bit lands in a
+    # predictable window.
+    while ma < HIDDEN_BIT:
+        ma <<= 1
+        ea -= 1
+    while mb < HIDDEN_BIT:
+        mb <<= 1
+        eb -= 1
+
+    prod = ma * mb  # in [2^104, 2^106)
+    exp = ea + eb - BIAS
+    if prod >= 1 << (2 * FRAC_BITS + 1):
+        shift = (2 * FRAC_BITS + 1) - (FRAC_BITS + _GRS_BITS)
+        exp += 1
+    else:
+        shift = (2 * FRAC_BITS) - (FRAC_BITS + _GRS_BITS)
+    sticky = 1 if prod & ((1 << shift) - 1) else 0
+    work = (prod >> shift) | sticky
+    return _round_pack(sign, exp, work)
+
+
+def f64_div(a: int, b: int) -> int:
+    """Bit-pattern division: a / b, round to nearest even."""
+    if is_nan(a) or is_nan(b):
+        return QNAN
+    sign = (a >> 63) ^ (b >> 63)
+    a_inf, b_inf = is_inf(a), is_inf(b)
+    a_zero, b_zero = is_zero(a), is_zero(b)
+    if a_inf:
+        return QNAN if b_inf else pack(sign, MAX_EXP, 0)
+    if b_inf:
+        return pack(sign, 0, 0)
+    if a_zero:
+        return QNAN if b_zero else pack(sign, 0, 0)
+    if b_zero:
+        return pack(sign, MAX_EXP, 0)  # x / 0 -> signed infinity
+
+    ma, ea = significand(a)
+    mb, eb = significand(b)
+    while ma < HIDDEN_BIT:
+        ma <<= 1
+        ea -= 1
+    while mb < HIDDEN_BIT:
+        mb <<= 1
+        eb -= 1
+
+    # Quotient with 56 result bits; floor division + sticky remainder
+    # provides exact round-to-nearest-even information.
+    numer = ma << (FRAC_BITS + 4)  # 56 extra bits
+    quot, rem = divmod(numer, mb)
+    sticky = 1 if rem else 0
+    exp = ea - eb + BIAS
+    if quot >= 1 << (FRAC_BITS + 4):  # in [2^56, 2^57): shift down one
+        sticky |= quot & 1
+        quot >>= 1
+    else:
+        exp -= 1
+    return _round_pack(sign, exp, quot | sticky)
+
+
+def f64_sqrt(a: int) -> int:
+    """Bit-pattern square root, round to nearest even."""
+    import math
+
+    if is_nan(a):
+        return QNAN
+    if is_zero(a):
+        return a  # sqrt(+-0) = +-0
+    if a >> 63:
+        return QNAN  # negative
+    if is_inf(a):
+        return a
+
+    m, e_biased = significand(a)
+    while m < HIDDEN_BIT:
+        m <<= 1
+        e_biased -= 1
+    ex = e_biased - BIAS  # value = (m / 2^52) * 2^ex, mantissa in [1, 2)
+
+    shift = 2 * (FRAC_BITS + _GRS_BITS) - FRAC_BITS  # 58
+    if ex & 1:
+        shift += 1
+        ex -= 1
+    # isqrt of m * 2^shift yields a 56-bit result in [2^55, 2^56).
+    radicand = m << shift
+    root = math.isqrt(radicand)
+    sticky = 0 if root * root == radicand else 1
+    return _round_pack(0, ex // 2 + BIAS, root | sticky)
+
+
+def f64_cmp(a: int, b: int):
+    """Three-way compare: -1, 0, 1, or None when unordered (NaN)."""
+    if is_nan(a) or is_nan(b):
+        return None
+    if is_zero(a) and is_zero(b):
+        return 0
+    # Map to a monotone signed key: positives keep their magnitude order,
+    # negatives reverse it.
+    ka = (a & ~SIGN_BIT) if not a >> 63 else -(a & ~SIGN_BIT)
+    kb = (b & ~SIGN_BIT) if not b >> 63 else -(b & ~SIGN_BIT)
+    return (ka > kb) - (ka < kb)
+
+
+def f64_lt(a: int, b: int) -> bool:
+    """a < b (False when unordered)."""
+    return f64_cmp(a, b) == -1
+
+
+def f64_min(a: int, b: int) -> int:
+    """IEEE minNum: NaN loses to a number; -0 < +0."""
+    if is_nan(a):
+        return b if not is_nan(b) else QNAN
+    if is_nan(b):
+        return a
+    if is_zero(a) and is_zero(b):
+        return a if a >> 63 else b  # prefer -0
+    return a if f64_cmp(a, b) <= 0 else b
+
+
+def f64_max(a: int, b: int) -> int:
+    """IEEE maxNum: NaN loses to a number; +0 > -0."""
+    if is_nan(a):
+        return b if not is_nan(b) else QNAN
+    if is_nan(b):
+        return a
+    if is_zero(a) and is_zero(b):
+        return a if not a >> 63 else b  # prefer +0
+    return a if f64_cmp(a, b) >= 0 else b
+
+
+def f64_from_int(n: int) -> int:
+    """Convert a Python int to the nearest binary64 bit pattern (RNE)."""
+    if n == 0:
+        return POS_ZERO
+    sign = 1 if n < 0 else 0
+    mag = -n if n < 0 else n
+    bits_len = mag.bit_length()
+    exp = BIAS + bits_len - 1
+    if bits_len <= FRAC_BITS + 1:
+        work = mag << (FRAC_BITS + _GRS_BITS - (bits_len - 1))
+    else:
+        shift = bits_len - 1 - FRAC_BITS - _GRS_BITS
+        if shift > 0:
+            sticky = 1 if mag & ((1 << shift) - 1) else 0
+            work = (mag >> shift) | sticky
+        else:
+            work = mag << -shift
+    return _round_pack(sign, exp, work)

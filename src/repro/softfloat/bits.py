@@ -1,0 +1,83 @@
+"""Bit-level representation of IEEE-754 binary64.
+
+The Quadrics Elan3 NIC has no floating-point unit, so BCS-MPI computes
+NIC-side reductions with a software IEEE library (SoftFloat, paper §4.4).
+This package reproduces that: binary64 arithmetic implemented **entirely
+with integer operations** on the bit patterns.  The host float unit is
+used only at the boundaries (float -> bits -> float).
+"""
+
+from __future__ import annotations
+
+import struct
+
+SIGN_BIT = 1 << 63
+EXP_SHIFT = 52
+EXP_MASK = 0x7FF
+FRAC_BITS = 52
+FRAC_MASK = (1 << FRAC_BITS) - 1
+HIDDEN_BIT = 1 << FRAC_BITS
+BIAS = 1023
+MAX_EXP = 0x7FF
+
+#: Canonical quiet NaN (what arithmetic produces for invalid operations).
+QNAN = (MAX_EXP << EXP_SHIFT) | (1 << (FRAC_BITS - 1))
+POS_INF = MAX_EXP << EXP_SHIFT
+NEG_INF = SIGN_BIT | POS_INF
+POS_ZERO = 0
+NEG_ZERO = SIGN_BIT
+
+
+def float_to_bits(x: float) -> int:
+    """Reinterpret a Python float as its 64-bit pattern."""
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Reinterpret a 64-bit pattern as a Python float."""
+    return struct.unpack("<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def unpack(bits: int) -> tuple[int, int, int]:
+    """Split a bit pattern into (sign, biased exponent, fraction)."""
+    return bits >> 63, (bits >> EXP_SHIFT) & EXP_MASK, bits & FRAC_MASK
+
+
+def pack(sign: int, exp: int, frac: int) -> int:
+    """Assemble (sign, biased exponent, fraction) into a bit pattern."""
+    return (sign << 63) | (exp << EXP_SHIFT) | frac
+
+
+def is_nan(bits: int) -> bool:
+    """True for any NaN encoding."""
+    _, e, f = unpack(bits)
+    return e == MAX_EXP and f != 0
+
+
+def is_inf(bits: int) -> bool:
+    """True for +/- infinity."""
+    _, e, f = unpack(bits)
+    return e == MAX_EXP and f == 0
+
+
+def is_zero(bits: int) -> bool:
+    """True for +/- zero."""
+    return bits & ~SIGN_BIT == 0
+
+
+def is_subnormal(bits: int) -> bool:
+    """True for nonzero values with a zero exponent field."""
+    _, e, f = unpack(bits)
+    return e == 0 and f != 0
+
+
+def significand(bits: int) -> tuple[int, int]:
+    """(M, E): value = (-1)^sign * M * 2^(E - BIAS - FRAC_BITS).
+
+    Normal numbers get the hidden bit; subnormals are mapped onto biased
+    exponent 1 with no hidden bit, which has the same weight.
+    """
+    _, e, f = unpack(bits)
+    if e == 0:
+        return f, 1
+    return f | HIDDEN_BIT, e

@@ -1,0 +1,22 @@
+"""STORM: the resource-management substrate (paper [8])."""
+
+from .accounting import JobUsage, collect_usage, usage_report
+from .gang import GangScheduler
+from .heartbeat import HeartbeatService
+from .job import Job, JobSpec, block_placement
+from .launcher import LaunchReport, StormLauncher
+from .manager import MachineManager
+
+__all__ = [
+    "GangScheduler",
+    "HeartbeatService",
+    "Job",
+    "JobSpec",
+    "JobUsage",
+    "LaunchReport",
+    "MachineManager",
+    "StormLauncher",
+    "block_placement",
+    "collect_usage",
+    "usage_report",
+]

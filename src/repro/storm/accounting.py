@@ -1,0 +1,101 @@
+"""STORM accounting: per-job resource usage reports.
+
+Paper §1 defines resource management as "the software infrastructure in
+charge of resource allocation *and accounting*".  The BCS runtime
+tracks, per job: CPU time consumed (with the NM tax), time blocked in
+communication, messages/bytes posted and collectives issued; this module
+renders the usage report an operator would bill from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from ..units import fmt_size, fmt_time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..bcs.runtime import BcsRuntime
+
+
+@dataclass(frozen=True)
+class JobUsage:
+    """Accounted usage of one job."""
+
+    job_id: int
+    name: str
+    n_ranks: int
+    wall_ns: int
+    cpu_ns: int
+    blocked_ns: int
+    messages: int
+    bytes_sent: int
+    collectives: int
+
+    @property
+    def cpu_efficiency(self) -> float:
+        """CPU time over (wall x ranks): how busy the allocation was."""
+        if not self.wall_ns or not self.n_ranks:
+            return 0.0
+        return self.cpu_ns / (self.wall_ns * self.n_ranks)
+
+
+def collect_usage(runtime: "BcsRuntime") -> List[JobUsage]:
+    """Snapshot every job's accounted usage, in launch order."""
+    out = []
+    for job_id, job in sorted(runtime.jobs.items()):
+        stats = runtime.job_stats.get(job_id, {})
+        wall = job.runtime if job.runtime is not None else (
+            runtime.env.now - (job.started_at or 0)
+        )
+        out.append(
+            JobUsage(
+                job_id=job_id,
+                name=job.spec.name,
+                n_ranks=job.n_ranks,
+                wall_ns=wall,
+                cpu_ns=stats.get("cpu_ns", 0),
+                blocked_ns=stats.get("blocked_ns", 0),
+                messages=stats.get("messages", 0),
+                bytes_sent=stats.get("bytes", 0),
+                collectives=stats.get("collectives", 0),
+            )
+        )
+    return out
+
+
+def usage_report(runtime: "BcsRuntime") -> str:
+    """Human-readable accounting table for all jobs."""
+    from ..harness.report import format_table
+
+    rows = []
+    for usage in collect_usage(runtime):
+        rows.append(
+            [
+                usage.job_id,
+                usage.name,
+                usage.n_ranks,
+                fmt_time(usage.wall_ns),
+                fmt_time(usage.cpu_ns),
+                f"{100 * usage.cpu_efficiency:.0f}%",
+                fmt_time(usage.blocked_ns),
+                usage.messages,
+                fmt_size(usage.bytes_sent),
+                usage.collectives,
+            ]
+        )
+    return format_table(
+        [
+            "job",
+            "name",
+            "ranks",
+            "wall",
+            "cpu",
+            "eff",
+            "blocked",
+            "msgs",
+            "sent",
+            "colls",
+        ],
+        rows,
+    )

@@ -1,0 +1,129 @@
+"""Parallel jobs: specification, placement, lifecycle.
+
+STORM (the paper's resource manager, [8]) owns job descriptions and
+placement; both MPI runtimes launch :class:`JobSpec` instances and track
+them as :class:`Job` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..sim import Engine, Event
+
+_job_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of a parallel job.
+
+    ``app`` is a generator function ``app(ctx) -> Generator`` run once per
+    rank; ``ctx`` is an :class:`repro.mpi.context.AppContext`.
+    """
+
+    app: Callable[..., Generator]
+    n_ranks: int
+    name: str = "job"
+    #: Extra keyword arguments passed to every rank's ``app(ctx, **params)``.
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.n_ranks < 1:
+            raise ValueError("a job needs at least one rank")
+
+
+def block_placement(n_ranks: int, n_nodes: int, per_node: int) -> List[int]:
+    """Paper-style placement: fill each node with ``per_node`` ranks.
+
+    Rank r runs on node ``r // per_node`` (ranks 0,1 on node 0; 2,3 on
+    node 1; ... — two ranks per dual-CPU node on the crescendo cluster).
+    """
+    if n_ranks > n_nodes * per_node:
+        raise ValueError(
+            f"{n_ranks} ranks exceed capacity {n_nodes} nodes x {per_node}"
+        )
+    return [r // per_node for r in range(n_ranks)]
+
+
+class Job:
+    """A launched job: placement, per-rank state, completion event."""
+
+    def __init__(self, env: Engine, spec: JobSpec, placement: List[int]):
+        if len(placement) != spec.n_ranks:
+            raise ValueError("placement must list one node per rank")
+        self.env = env
+        self.spec = spec
+        self.id = next(_job_ids)
+        #: node id for each rank.
+        self.placement = list(placement)
+        #: ranks hosted on each node.
+        self.node_ranks: Dict[int, List[int]] = {}
+        for rank, node in enumerate(self.placement):
+            self.node_ranks.setdefault(node, []).append(rank)
+        self.done: Event = env.event(name=f"job{self.id}.done")
+        #: Triggered if the job is torn down by a failure (fault tolerance).
+        self.failed: Event = env.event(name=f"job{self.id}.failed")
+        self.started_at: Optional[int] = None
+        self.finished_at: Optional[int] = None
+        self._remaining = spec.n_ranks
+        #: Per-rank return values of the app generators.
+        self.results: List[Any] = [None] * spec.n_ranks
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks in the job."""
+        return self.spec.n_ranks
+
+    @property
+    def nodes(self) -> List[int]:
+        """Sorted list of nodes hosting at least one rank."""
+        return sorted(self.node_ranks)
+
+    @property
+    def root_node(self) -> int:
+        """The node hosting the job master process (rank 0)."""
+        return self.placement[0]
+
+    @property
+    def complete(self) -> bool:
+        """True once every rank has finished."""
+        return self._remaining == 0
+
+    @property
+    def runtime(self) -> Optional[int]:
+        """Wall-clock span from launch to last rank exit, ns."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def is_failed(self) -> bool:
+        """True once the job has been torn down by a failure."""
+        return self.failed.triggered
+
+    @property
+    def terminal(self) -> bool:
+        """Completed or failed: no further progress possible."""
+        return self.complete or self.is_failed
+
+    def mark_failed(self, cause: Any = None) -> None:
+        """Tear the job down (idempotent); fires ``failed``."""
+        if not self.failed.triggered:
+            self.failed.succeed(cause)
+
+    def rank_finished(self, rank: int, result: Any) -> None:
+        """Record one rank's completion; fires ``done`` on the last."""
+        if self._remaining <= 0:
+            raise RuntimeError(f"job {self.id}: too many rank completions")
+        self.results[rank] = result
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.finished_at = self.env.now
+            self.done.succeed(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.complete else "running"
+        return f"<Job {self.id} {self.spec.name!r} ranks={self.n_ranks} {state}>"

@@ -1,0 +1,168 @@
+"""Direct tests of the BCS API layer (paper Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.api import BcsApi, UNLIMITED
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.network import Cluster, ClusterSpec
+from repro.storm import JobSpec
+from repro.units import seconds, us
+
+
+def setup_runtime(n_ranks=4):
+    """A runtime with a launched-but-idle job, for direct API pokes."""
+    cluster = Cluster(ClusterSpec(n_nodes=n_ranks // 2))
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    api = BcsApi(runtime)
+    return cluster, runtime, api
+
+
+def run_api_app(body, n_ranks=4):
+    """Run an app that receives (ctx, api, handle, info)."""
+    cluster, runtime, api = setup_runtime(n_ranks)
+
+    def app(ctx):
+        handle = runtime.rank_procs  # not used; real handle below
+        yield from body(ctx, api)
+
+    # Instead of reaching into internals, drive through the comm object,
+    # which exposes the api pieces we need via its attributes.
+    job = runtime.run_job(JobSpec(app=app, n_ranks=n_ranks), max_time=seconds(30))
+    return job, runtime
+
+
+def test_post_send_validates_destination():
+    cluster, runtime, api = setup_runtime()
+    captured = {}
+
+    def app(ctx):
+        comm = ctx.comm
+        captured["handle"] = comm._handle
+        captured["info"] = comm._info
+        yield ctx.env.timeout(1)
+
+    runtime.run_job(JobSpec(app=app, n_ranks=4), max_time=seconds(5))
+    handle, info = captured["handle"], captured["info"]
+    with pytest.raises(ValueError):
+        api.post_send(handle, info, 0, dest=99)
+    with pytest.raises(ValueError):
+        api.post_recv(handle, info, 0, source=99)
+    with pytest.raises(ValueError):
+        api.post_collective(handle, info, 0, "barrier", root=99)
+    with pytest.raises(ValueError):
+        api.post_collective(handle, info, 0, "alltoallw")
+
+
+def test_unlimited_recv_capacity_default():
+    cluster, runtime, api = setup_runtime()
+    captured = {}
+
+    def app(ctx):
+        captured["handle"] = ctx.comm._handle
+        captured["info"] = ctx.comm._info
+        yield ctx.env.timeout(1)
+
+    runtime.run_job(JobSpec(app=app, n_ranks=4), max_time=seconds(5))
+    req = api.post_recv(captured["handle"], captured["info"], 0)
+    desc = captured["handle"].nrt.posted_recvs[-1]
+    assert desc.capacity == UNLIMITED
+
+
+def test_buffered_send_finishes_at_post():
+    cluster, runtime, api = setup_runtime()
+    captured = {}
+
+    def app(ctx):
+        captured["handle"] = ctx.comm._handle
+        captured["info"] = ctx.comm._info
+        yield ctx.env.timeout(1)
+
+    runtime.run_job(JobSpec(app=app, n_ranks=4), max_time=seconds(5))
+    req = api.post_send(captured["handle"], captured["info"], 0, dest=1, payload=b"xy")
+    assert req.complete  # buffered_sends=True default
+
+
+def test_epoch_counters_advance_per_comm():
+    cluster, runtime, api = setup_runtime()
+    captured = {}
+
+    def app(ctx):
+        captured[ctx.rank] = ctx.comm._handle
+        yield ctx.env.timeout(1)
+
+    runtime.run_job(JobSpec(app=app, n_ranks=4), max_time=seconds(5))
+    handle = captured[0]
+    assert handle.next_epoch(0) == 1
+    assert handle.next_epoch(0) == 2
+    assert handle.next_epoch(1) == 1  # separate communicator, fresh
+
+
+def test_send_seq_counters_per_destination():
+    cluster, runtime, api = setup_runtime()
+    captured = {}
+
+    def app(ctx):
+        captured[ctx.rank] = ctx.comm._handle
+        yield ctx.env.timeout(1)
+
+    runtime.run_job(JobSpec(app=app, n_ranks=4), max_time=seconds(5))
+    handle = captured[0]
+    assert handle.next_send_seq(0, 1) == 0
+    assert handle.next_send_seq(0, 1) == 1
+    assert handle.next_send_seq(0, 2) == 0
+
+
+def test_pending_overhead_accumulates_and_flushes():
+    cluster, runtime, api = setup_runtime()
+    post_cost = runtime.config.descriptor_post_cost
+    times = {}
+
+    def app(ctx):
+        handle = ctx.comm._handle
+        ctx.comm.isend(None, dest=1, size=8)
+        ctx.comm.isend(None, dest=1, size=8)
+        assert handle.pending_overhead == 2 * post_cost
+        t0 = ctx.now
+        yield from ctx.compute(us(10))
+        times["compute"] = ctx.now - t0
+        assert handle.pending_overhead == 0
+        # Receiver side cleanup.
+        if ctx.rank == 1:
+            r1 = ctx.comm.irecv(source=0, size=8)
+            r2 = ctx.comm.irecv(source=0, size=8)
+            yield from ctx.comm.waitall([r1, r2])
+
+    def app_wrapper(ctx):
+        if ctx.rank == 0:
+            yield from app(ctx)
+        elif ctx.rank == 1:
+            r1 = ctx.comm.irecv(source=0, size=8)
+            r2 = ctx.comm.irecv(source=0, size=8)
+            yield from ctx.comm.waitall([r1, r2])
+        else:
+            yield ctx.env.timeout(1)
+
+    runtime.run_job(JobSpec(app=app_wrapper, n_ranks=4), max_time=seconds(5))
+
+
+def test_probe_wrong_and_right_source():
+    """bcs_probe distinguishes sources and tags (paper Fig 12)."""
+
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(b"z", dest=1, tag=3)
+            yield from ctx.comm.barrier()
+        elif ctx.rank == 1:
+            yield from ctx.compute(us(1500))
+            assert ctx.comm.iprobe(source=0, tag=3)
+            assert not ctx.comm.iprobe(source=2, tag=3)
+            assert not ctx.comm.iprobe(source=0, tag=4)
+            yield from ctx.comm.recv(source=0, tag=3)
+            yield from ctx.comm.barrier()
+        else:
+            yield from ctx.comm.barrier()
+
+    cluster, runtime, api = setup_runtime()
+    job = runtime.run_job(JobSpec(app=app, n_ranks=4), max_time=seconds(30))
+    assert job.complete

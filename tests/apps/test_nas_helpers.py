@@ -1,0 +1,77 @@
+"""Unit tests for NAS skeleton helpers and wavefront machinery."""
+
+import pytest
+
+from repro.apps.nas.base_helpers import halo_bytes_for_level
+from repro.apps.sweep_helpers import wavefront_peers
+from repro.apps.sweep3d import OCTANTS
+
+
+def test_halo_bytes_512_cube():
+    # 512^3 over 62 ranks: a pencil face is ~(512/sqrt(62))^2 points.
+    halo = halo_bytes_for_level(512, 62)
+    assert 30_000 < halo < 40_000
+
+
+def test_halo_bytes_shrinks_with_more_ranks():
+    assert halo_bytes_for_level(512, 64) < halo_bytes_for_level(512, 4)
+
+
+def test_halo_bytes_floor_and_validation():
+    assert halo_bytes_for_level(2, 10**6) == 8  # never below one word
+    with pytest.raises(ValueError):
+        halo_bytes_for_level(0, 4)
+    with pytest.raises(ValueError):
+        halo_bytes_for_level(8, 0)
+
+
+def test_octants_cover_all_four_diagonal_directions():
+    assert set(OCTANTS) == {(1, 1), (1, -1), (-1, 1), (-1, -1)}
+    assert len(OCTANTS) == 8  # two z-directions per diagonal
+
+
+def test_wavefront_peers_corner_has_no_upstream():
+    # ++ sweep: rank 0 (corner) consumes nothing, only produces.
+    upstream, downstream = wavefront_peers(0, 16, (1, 1))
+    assert upstream == []
+    assert len(downstream) == 2
+
+
+def test_wavefront_peers_opposite_corner_terminal():
+    upstream, downstream = wavefront_peers(15, 16, (1, 1))
+    assert len(upstream) == 2
+    assert downstream == []
+
+
+def test_wavefront_upstream_downstream_are_duals():
+    """If a is upstream of b for a sweep, then b is downstream of a."""
+    size = 16
+    for direction in [(1, 1), (-1, 1), (1, -1), (-1, -1)]:
+        for rank in range(size):
+            upstream, _ = wavefront_peers(rank, size, direction)
+            for u in upstream:
+                _, u_down = wavefront_peers(u, size, direction)
+                assert rank in u_down, (rank, u, direction)
+
+
+def test_wavefront_reversed_sweep_swaps_roles():
+    size = 16
+    for rank in range(size):
+        up_fwd, down_fwd = wavefront_peers(rank, size, (1, 1))
+        up_rev, down_rev = wavefront_peers(rank, size, (-1, -1))
+        assert sorted(up_fwd) == sorted(down_rev)
+        assert sorted(down_fwd) == sorted(up_rev)
+
+
+def test_wavefront_dag_is_acyclic():
+    """Following downstream links always increases the wavefront index."""
+    from repro.apps.base import grid_coords, process_grid
+
+    size = 12
+    px, py = process_grid(size)
+    for rank in range(size):
+        i, j = grid_coords(rank, px, py)
+        _, downstream = wavefront_peers(rank, size, (1, 1))
+        for d in downstream:
+            di, dj = grid_coords(d, px, py)
+            assert di + dj == i + j + 1

@@ -1,0 +1,113 @@
+"""Every workload runs to completion on both backends (tiny instances)."""
+
+import pytest
+
+from repro.apps import (
+    barrier_benchmark,
+    nearest_neighbor_benchmark,
+    sage,
+    sweep3d_blocking,
+    sweep3d_nonblocking,
+)
+from repro.apps.nas import NAS_APPS
+from repro.bcs import BcsConfig
+from repro.harness import compare_backends, run_workload
+from repro.mpi.baseline import BaselineConfig
+from repro.units import ms, seconds
+
+BC = BcsConfig(init_cost=0)
+BL = BaselineConfig(init_cost=0)
+
+TINY = {
+    "barrier": (barrier_benchmark, dict(granularity=ms(2), iterations=3)),
+    "nn": (nearest_neighbor_benchmark, dict(granularity=ms(2), iterations=3)),
+    "sage": (sage, dict(steps=3, step_compute=ms(5))),
+    "sweep_blk": (sweep3d_blocking, dict(octants=2, kblocks=2, step_compute=ms(1))),
+    "sweep_nb": (sweep3d_nonblocking, dict(octants=2, kblocks=2, step_compute=ms(1))),
+    "IS": (NAS_APPS["IS"], dict(iterations=2, total_keys=2**16)),
+    "EP": (NAS_APPS["EP"], dict(total_compute=ms(20))),
+    "CG": (NAS_APPS["CG"], dict(outer_iterations=1, inner_iterations=3)),
+    "MG": (NAS_APPS["MG"], dict(iterations=1, levels=3, level_compute_top=ms(2))),
+    "LU": (NAS_APPS["LU"], dict(iterations=1, kblocks=2, step_compute=ms(1))),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TINY))
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_workload_completes(name, backend):
+    app, params = TINY[name]
+    result = run_workload(
+        app,
+        n_ranks=8,
+        backend=backend,
+        params=params,
+        bcs_config=BC,
+        baseline_config=BL,
+        max_time=seconds(60),
+    )
+    assert result.runtime_ns > 0
+    assert len(result.results) == 8
+
+
+@pytest.mark.parametrize("name", ["sage", "IS", "CG"])
+def test_workload_results_agree_across_backends(name):
+    """Apps that return values must compute the same thing on both."""
+    app, params = TINY[name]
+    comparison = compare_backends(
+        app, 8, params=params, bcs_config=BC, baseline_config=BL,
+        max_time=seconds(60),
+    )
+    assert comparison.bcs.results == comparison.baseline.results
+
+
+def test_workloads_scale_with_ranks():
+    app, params = TINY["sweep_nb"]
+    for n in (2, 4, 8):
+        result = run_workload(
+            app, n_ranks=n, backend="bcs", params=params, bcs_config=BC,
+            max_time=seconds(60),
+        )
+        assert result.runtime_ns > 0
+
+
+def test_blocking_sweep_slower_than_nonblocking_under_bcs():
+    """The §5.4 effect at miniature scale."""
+    params = dict(octants=3, kblocks=3, step_compute=ms(3.5))
+    blk = run_workload(
+        sweep3d_blocking, 8, "bcs", params=params, bcs_config=BC,
+        max_time=seconds(60),
+    )
+    nb = run_workload(
+        sweep3d_nonblocking, 8, "bcs", params=params, bcs_config=BC,
+        max_time=seconds(60),
+    )
+    assert blk.runtime_ns > nb.runtime_ns
+
+
+def test_deterministic_workload_runs():
+    app, params = TINY["sage"]
+    r1 = run_workload(app, 8, "bcs", params=params, bcs_config=BC)
+    r2 = run_workload(app, 8, "bcs", params=params, bcs_config=BC)
+    assert r1.runtime_ns == r2.runtime_ns
+    assert r1.results == r2.results
+
+
+def test_ft_extension_runs_on_both_backends():
+    """NPB FT (excluded in the paper for lack of MPI groups) runs here."""
+    params = dict(iterations=2, grid_points=32, flop_ns_per_point=50.0)
+    for backend in ("bcs", "baseline"):
+        result = run_workload(
+            NAS_APPS["FT"], n_ranks=8, backend=backend, params=params,
+            bcs_config=BC, baseline_config=BL, max_time=seconds(60),
+        )
+        assert result.runtime_ns > 0
+        assert all(r is not None for r in result.results)
+
+
+def test_ft_checksum_identical_across_backends():
+    params = dict(iterations=2, grid_points=32, flop_ns_per_point=50.0)
+    comparison = compare_backends(
+        NAS_APPS["FT"], 8, params=params, bcs_config=BC, baseline_config=BL,
+        max_time=seconds(60),
+    )
+    assert comparison.bcs.results == comparison.baseline.results

@@ -1,0 +1,171 @@
+"""Unit + property tests for the BR matcher (MPI matching semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bcs import ANY_SOURCE, ANY_TAG, Matcher, TruncationError
+from repro.bcs.descriptors import RecvDescriptor, SendDescriptor
+
+
+class _Req:
+    """Stand-in request (the matcher never touches it)."""
+
+    complete = False
+
+
+def send(src=0, dst=0, tag=0, size=8, seq=0, job=0, comm=0):
+    return SendDescriptor(
+        job_id=job,
+        comm_id=comm,
+        src_rank=src,
+        dst_rank=dst,
+        tag=tag,
+        size=size,
+        request=_Req(),
+        seq=seq,
+    )
+
+
+def recv(rank=0, src=ANY_SOURCE, tag=ANY_TAG, cap=1 << 30, job=0, comm=0):
+    return RecvDescriptor(
+        job_id=job,
+        comm_id=comm,
+        rank=rank,
+        src_rank=src,
+        tag=tag,
+        capacity=cap,
+        request=_Req(),
+    )
+
+
+def test_exact_match():
+    m = Matcher(0)
+    assert m.add_send(send(src=1, tag=5)) is None
+    match = m.add_recv(recv(src=1, tag=5))
+    assert match is not None
+    assert match.total_bytes == 8
+
+
+def test_recv_first_then_send():
+    m = Matcher(0)
+    assert m.add_recv(recv(src=2, tag=9)) is None
+    match = m.add_send(send(src=2, tag=9))
+    assert match is not None
+
+
+def test_tag_mismatch_parks_send():
+    m = Matcher(0)
+    m.add_recv(recv(src=1, tag=5))
+    assert m.add_send(send(src=1, tag=6)) is None
+    assert m.pending_counts == (1, 1)
+
+
+def test_source_mismatch_no_match():
+    m = Matcher(0)
+    m.add_recv(recv(src=3, tag=ANY_TAG))
+    assert m.add_send(send(src=1, tag=0)) is None
+
+
+def test_any_source_any_tag_wildcards():
+    m = Matcher(0)
+    m.add_recv(recv(src=ANY_SOURCE, tag=ANY_TAG))
+    assert m.add_send(send(src=7, tag=42)) is not None
+
+
+def test_comm_isolation():
+    m = Matcher(0)
+    m.add_recv(recv(src=ANY_SOURCE, comm=1))
+    assert m.add_send(send(src=0, comm=0)) is None
+    assert m.add_send(send(src=0, comm=1)) is not None
+
+
+def test_job_isolation():
+    m = Matcher(0)
+    m.add_recv(recv(src=ANY_SOURCE, job=1))
+    assert m.add_send(send(src=0, job=2)) is None
+
+
+def test_dst_rank_must_match_recv_rank():
+    """Two ranks on the same node have separate message streams."""
+    m = Matcher(0)
+    m.add_recv(recv(rank=1, src=ANY_SOURCE))
+    assert m.add_send(send(src=0, dst=0)) is None
+    assert m.add_send(send(src=0, dst=1)) is not None
+
+
+def test_non_overtaking_same_source():
+    """Sends from one source match receives in posted (seq) order."""
+    m = Matcher(0)
+    first = send(src=1, tag=0, seq=0, size=1)
+    second = send(src=1, tag=0, seq=1, size=2)
+    m.add_send(first)
+    m.add_send(second)
+    match1 = m.add_recv(recv(src=1, tag=0))
+    match2 = m.add_recv(recv(src=1, tag=0))
+    assert match1.send is first
+    assert match2.send is second
+
+
+def test_recvs_match_in_post_order():
+    m = Matcher(0)
+    r1 = recv(src=ANY_SOURCE, tag=ANY_TAG)
+    r2 = recv(src=ANY_SOURCE, tag=ANY_TAG)
+    m.add_recv(r1)
+    m.add_recv(r2)
+    match = m.add_send(send(src=4))
+    assert match.recv is r1
+
+
+def test_tagged_recv_skips_nonmatching_unexpected():
+    m = Matcher(0)
+    m.add_send(send(src=1, tag=10, seq=0))
+    m.add_send(send(src=1, tag=20, seq=1))
+    match = m.add_recv(recv(src=1, tag=20))
+    assert match.send.tag == 20
+    # The tag-10 send is still parked.
+    assert m.pending_counts == (1, 0)
+
+
+def test_truncation_detected():
+    m = Matcher(0)
+    m.add_recv(recv(src=1, tag=0, cap=4))
+    with pytest.raises(TruncationError):
+        m.add_send(send(src=1, tag=0, size=100))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 2)),  # (src, tag) of sends
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_prop_wildcard_recvs_drain_in_arrival_order(sends):
+    """N wildcard receives match the first N arrived sends, in order."""
+    m = Matcher(0)
+    descs = [send(src=s, tag=t, seq=i) for i, (s, t) in enumerate(sends)]
+    for d in descs:
+        m.add_send(d)
+    matched = []
+    for _ in sends:
+        match = m.add_recv(recv())
+        matched.append(match.send)
+    assert matched == descs
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.permutations(list(range(6))))
+def test_prop_tagged_matching_is_a_bijection(tag_order):
+    """Each tagged recv pairs with exactly the same-tag send."""
+    m = Matcher(0)
+    for tag in range(6):
+        m.add_send(send(src=0, tag=tag, seq=tag))
+    pairs = {}
+    for tag in tag_order:
+        match = m.add_recv(recv(src=0, tag=tag))
+        assert match is not None
+        pairs[tag] = match.send.tag
+    assert pairs == {t: t for t in range(6)}
+    assert m.pending_counts == (0, 0)

@@ -1,0 +1,108 @@
+"""Stateful property test: the BR matcher vs a reference MPI matcher."""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.bcs import ANY_SOURCE, ANY_TAG, Matcher
+from repro.bcs.descriptors import RecvDescriptor, SendDescriptor
+
+
+class _Req:
+    complete = False
+
+
+class ReferenceMatcher:
+    """Straightforward O(n^2) restatement of the MPI matching rules."""
+
+    def __init__(self):
+        self.unexpected = []
+        self.posted = []
+
+    @staticmethod
+    def _matches(recv, send):
+        if recv["src"] not in (ANY_SOURCE, send["src"]):
+            return False
+        if recv["tag"] not in (ANY_TAG, send["tag"]):
+            return False
+        return True
+
+    def add_send(self, send):
+        for i, recv in enumerate(self.posted):
+            if self._matches(recv, send):
+                del self.posted[i]
+                return (send["uid"], recv["uid"])
+        self.unexpected.append(send)
+        return None
+
+    def add_recv(self, recv):
+        for i, send in enumerate(self.unexpected):
+            if self._matches(recv, send):
+                del self.unexpected[i]
+                return (send["uid"], recv["uid"])
+        self.posted.append(recv)
+        return None
+
+
+class MatcherMachine(RuleBasedStateMachine):
+    """Drive both matchers with the same operations; outcomes must agree."""
+
+    def __init__(self):
+        super().__init__()
+        self.real = Matcher(0)
+        self.ref = ReferenceMatcher()
+        self.uid = 0
+        self.seq = {}
+
+    def _next_uid(self):
+        self.uid += 1
+        return self.uid
+
+    @rule(src=st.integers(0, 2), tag=st.integers(0, 2))
+    def post_send(self, src, tag):
+        uid = self._next_uid()
+        seq = self.seq.get(src, 0)
+        self.seq[src] = seq + 1
+        send = SendDescriptor(
+            job_id=0, comm_id=0, src_rank=src, dst_rank=0, tag=tag,
+            size=8, request=_Req(), seq=seq,
+        )
+        send.uid = uid  # type: ignore[attr-defined]
+        got = self.real.add_send(send)
+        want = self.ref.add_send({"src": src, "tag": tag, "uid": uid})
+        got_pair = None if got is None else (got.send.uid, got.recv.uid)
+        assert got_pair == want
+
+    @rule(
+        src=st.sampled_from([ANY_SOURCE, 0, 1, 2]),
+        tag=st.sampled_from([ANY_TAG, 0, 1, 2]),
+    )
+    def post_recv(self, src, tag):
+        uid = self._next_uid()
+        recv = RecvDescriptor(
+            job_id=0, comm_id=0, rank=0, src_rank=src, tag=tag,
+            capacity=1 << 30, request=_Req(),
+        )
+        recv.uid = uid  # type: ignore[attr-defined]
+        got = self.real.add_recv(recv)
+        want = self.ref.add_recv({"src": src, "tag": tag, "uid": uid})
+        got_pair = None if got is None else (got.send.uid, got.recv.uid)
+        assert got_pair == want
+
+    @invariant()
+    def queues_agree(self):
+        assert len(self.real.unexpected) == len(self.ref.unexpected)
+        assert len(self.real.posted) == len(self.ref.posted)
+        # Same identities, same order.
+        assert [s.uid for s in self.real.unexpected] == [
+            s["uid"] for s in self.ref.unexpected
+        ]
+        assert [r.uid for r in self.real.posted] == [
+            r["uid"] for r in self.ref.posted
+        ]
+
+
+MatcherMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestMatcherAgainstReference = MatcherMachine.TestCase

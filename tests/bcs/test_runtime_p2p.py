@@ -1,0 +1,299 @@
+"""Integration tests: point-to-point semantics under the BCS runtime."""
+
+import numpy as np
+import pytest
+
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.network import Cluster, ClusterSpec
+from repro.storm import JobSpec
+from repro.units import KiB, MiB, us
+
+
+def run_app(app, n_ranks=2, n_nodes=2, config=None, **params):
+    cluster = Cluster(ClusterSpec(n_nodes=n_nodes))
+    runtime = BcsRuntime(cluster, config or BcsConfig(init_cost=0))
+    job = runtime.run_job(JobSpec(app=app, n_ranks=n_ranks, params=params))
+    return job, runtime
+
+
+def test_payload_delivered_intact():
+    data = np.arange(100, dtype=np.float64)
+
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(data, dest=1, tag=1)
+        else:
+            got = yield from ctx.comm.recv(source=0, tag=1)
+            return got
+
+    job, _ = run_app(app)
+    assert (job.results[1] == data).all()
+
+
+def test_payload_is_a_copy_not_a_view():
+    data = np.zeros(10)
+
+    def app(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(data, dest=1, tag=1)
+            data[0] = 99.0  # mutate after post: receiver sees a snapshot...
+            yield from ctx.comm.wait(req)
+        else:
+            got = yield from ctx.comm.recv(source=0, tag=1)
+            got[1] = -1.0  # ...and our buffer never aliases the sender's
+            return got
+
+    job, _ = run_app(app)
+    assert data[1] == 0.0
+
+
+def test_blocking_recv_delay_is_one_to_two_slices():
+    """Paper §3.1: a blocking receive costs ~1.5 time slices on average
+    (1 to 2 depending on where in the slice it was posted)."""
+    slice_ns = us(500)
+    delays = []
+
+    def app(ctx, offset=0):
+        # Synchronize to a slice boundary first.
+        yield from ctx.comm.barrier()
+        yield from ctx.compute(offset)
+        t0 = ctx.now
+        if ctx.rank == 0:
+            yield from ctx.comm.send(None, dest=1, size=64)
+        else:
+            yield from ctx.comm.recv(source=0)
+            delays.append(ctx.now - t0)
+
+    for offset in (us(20), us(200), us(400)):
+        delays.clear()
+        run_app(app, config=BcsConfig(init_cost=0, nm_compute_tax=0.0), offset=offset)
+        for d in delays:
+            assert slice_ns * 0.9 <= d <= slice_ns * 2.5, f"offset={offset} d={d}"
+
+
+def test_buffered_send_returns_immediately():
+    """Buffered coscheduling: MPI_Send completes once the payload is
+    snapshotted — only the receive pays the slice delay."""
+    delays = {}
+
+    def app(ctx):
+        yield from ctx.comm.barrier()
+        t0 = ctx.now
+        if ctx.rank == 0:
+            yield from ctx.comm.send(np.arange(4.0), dest=1)
+            delays["send"] = ctx.now - t0
+        else:
+            yield from ctx.comm.recv(source=0)
+            delays["recv"] = ctx.now - t0
+
+    run_app(app, config=BcsConfig(init_cost=0))
+    assert delays["send"] < us(10)
+    assert delays["recv"] >= us(450)
+
+
+def test_strict_sends_block_until_delivery():
+    """With buffered_sends off, a blocking send waits for the data."""
+    delays = {}
+
+    def app(ctx):
+        yield from ctx.comm.barrier()
+        t0 = ctx.now
+        if ctx.rank == 0:
+            yield from ctx.comm.send(np.arange(4.0), dest=1)
+            delays["send"] = ctx.now - t0
+        else:
+            yield from ctx.comm.recv(source=0)
+
+    run_app(app, config=BcsConfig(init_cost=0, buffered_sends=False))
+    assert delays["send"] >= us(450)
+
+
+def test_buffered_send_snapshot_protects_payload():
+    """Mutating the send buffer right after MPI_Send must not corrupt
+    the message (the runtime snapshotted it at post time)."""
+
+    def app(ctx):
+        if ctx.rank == 0:
+            buf = np.arange(4.0)
+            yield from ctx.comm.send(buf, dest=1)
+            buf[:] = -1.0  # legal: the send already completed
+            yield from ctx.comm.barrier()
+        else:
+            got = yield from ctx.comm.recv(source=0)
+            yield from ctx.comm.barrier()
+            return got.tolist()
+
+    job, _ = run_app(app)
+    assert job.results[1] == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_nonblocking_overlap_costs_nothing_when_complete():
+    """Paper §3.2: if communication finished during computation, wait
+    returns immediately — full overlap."""
+    timeline = {}
+
+    def app(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(None, dest=1, size=1 * KiB)
+        else:
+            req = ctx.comm.irecv(source=0, size=1 * KiB)
+        yield from ctx.compute(us(5000))  # 10 slices >> transfer time
+        t0 = ctx.now
+        yield from ctx.comm.wait(req)
+        timeline[ctx.rank] = ctx.now - t0
+
+    run_app(app, config=BcsConfig(init_cost=0, nm_compute_tax=0.0))
+    # wait() returned without a slice suspension on both sides.
+    assert timeline[0] < us(500)
+    assert timeline[1] < us(500)
+
+
+def test_large_message_chunked_across_slices():
+    cfg = BcsConfig(init_cost=0)
+    size = 2 * MiB  # several slice budgets at 305 MB/s
+
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(None, dest=1, size=size)
+        else:
+            yield from ctx.comm.recv(source=0, size=size)
+
+    job, runtime = run_app(app, config=cfg)
+    budget = cfg.p2p_slice_budget_bytes(305e6)
+    assert runtime.stats["chunks_moved"] >= size // budget
+    assert runtime.stats["bytes_transferred"] == size
+
+
+def test_any_source_any_tag():
+    def app(ctx):
+        if ctx.rank == 0:
+            first = yield from ctx.comm.recv()
+            second = yield from ctx.comm.recv()
+            return sorted([first, second])
+        yield from ctx.comm.send(b"x" * ctx.rank, dest=0, tag=ctx.rank)
+
+    job, _ = run_app(app, n_ranks=3, n_nodes=2)
+    assert job.results[0] == [b"x", b"xx"]
+
+
+def test_message_ordering_same_pair_preserved():
+    def app(ctx):
+        if ctx.rank == 0:
+            for i in range(5):
+                yield from ctx.comm.send(np.array([i]), dest=1, tag=0)
+        else:
+            got = []
+            for _ in range(5):
+                v = yield from ctx.comm.recv(source=0, tag=0)
+                got.append(int(v[0]))
+            return got
+
+    job, _ = run_app(app)
+    assert job.results[1] == [0, 1, 2, 3, 4]
+
+
+def test_out_of_order_tags_resolved():
+    def app(ctx):
+        if ctx.rank == 0:
+            r_b = ctx.comm.irecv(source=1, tag=2)
+            r_a = ctx.comm.irecv(source=1, tag=1)
+            yield from ctx.comm.waitall([r_a, r_b])
+            return (r_a.payload, r_b.payload)
+        yield from ctx.comm.send(b"A", dest=0, tag=1)
+        yield from ctx.comm.send(b"B", dest=0, tag=2)
+
+    job, _ = run_app(app)
+    assert job.results[0] == (b"A", b"B")
+
+
+def test_same_node_ranks_communicate():
+    """Two ranks sharing a node exchange through local DMA."""
+
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(b"local", dest=1)
+        else:
+            got = yield from ctx.comm.recv(source=0)
+            return got
+
+    # Both ranks on node 0 (2 CPUs per node).
+    job, _ = run_app(app, n_ranks=2, n_nodes=1)
+    assert job.results[1] == b"local"
+
+
+def test_many_to_one_fan_in():
+    def app(ctx):
+        if ctx.rank == 0:
+            total = 0
+            for _ in range(ctx.size - 1):
+                v = yield from ctx.comm.recv()
+                total += int(v[0])
+            return total
+        yield from ctx.comm.send(np.array([ctx.rank]), dest=0)
+
+    job, _ = run_app(app, n_ranks=8, n_nodes=4)
+    assert job.results[0] == sum(range(1, 8))
+
+
+def test_iprobe_sees_unmatched_arrival():
+    saw = {}
+
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(b"probe-me", dest=1, tag=77)
+            yield from ctx.comm.barrier()
+        else:
+            # Give the message time to arrive at the BR (2 slices).
+            yield from ctx.compute(us(1500))
+            saw["before"] = ctx.comm.iprobe(source=0, tag=77)
+            saw["wrong_tag"] = ctx.comm.iprobe(source=0, tag=78)
+            got = yield from ctx.comm.recv(source=0, tag=77)
+            saw["after"] = ctx.comm.iprobe(source=0, tag=77)
+            yield from ctx.comm.barrier()
+            return got
+
+    job, _ = run_app(app)
+    assert saw == {"before": True, "wrong_tag": False, "after": False}
+    assert job.results[1] == b"probe-me"
+
+
+def test_init_cost_delays_start():
+    cfg = BcsConfig(init_cost=us(10_000))
+
+    def app(ctx):
+        yield from ctx.comm.barrier()
+        return ctx.now
+
+    job, _ = run_app(app, config=cfg)
+    assert all(r >= us(10_000) for r in job.results)
+
+
+def test_runtime_stats_accumulate():
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(None, dest=1, size=256)
+        else:
+            yield from ctx.comm.recv(source=0, size=256)
+
+    _, runtime = run_app(app)
+    assert runtime.stats["messages_delivered"] == 1
+    assert runtime.stats["descriptors_exchanged"] == 1
+    assert runtime.stats["slices"] >= 2
+    assert runtime.stats["active_slices"] >= 1
+
+
+def test_determinism_identical_runs():
+    def app(ctx):
+        for i in range(3):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(np.array([i]), dest=1)
+                yield from ctx.comm.recv(source=1)
+            else:
+                yield from ctx.comm.recv(source=0)
+                yield from ctx.comm.send(np.array([i * 2]), dest=0)
+        return ctx.now
+
+    j1, _ = run_app(app)
+    j2, _ = run_app(app)
+    assert j1.results == j2.results
+    assert j1.runtime == j2.runtime

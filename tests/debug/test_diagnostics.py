@@ -1,0 +1,79 @@
+"""Tests for the stall diagnostician."""
+
+import pytest
+
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.debug import diagnose
+from repro.network import Cluster, ClusterSpec
+from repro.storm import JobSpec
+from repro.units import ms, seconds, us
+
+
+def make():
+    cluster = Cluster(ClusterSpec(n_nodes=2))
+    return cluster, BcsRuntime(cluster, BcsConfig(init_cost=0))
+
+
+def test_unmatched_send_reported():
+    cluster, runtime = make()
+
+    def app(ctx):
+        if ctx.rank == 0:
+            # Tag mismatch: nobody ever posts tag 7.
+            yield from ctx.comm.send(b"lost", dest=1, tag=7)
+        else:
+            yield from ctx.comm.recv(source=0, tag=8)
+
+    job = runtime.launch(JobSpec(app=app, n_ranks=2))
+    cluster.env.run(until=ms(5))
+    report = diagnose(runtime)
+    assert "tag=7 size=4 has NO matching receive" in report
+    assert "tag=8 has NO matching send" in report
+    assert "blocked" in report
+
+
+def test_straggler_collective_reported():
+    cluster, runtime = make()
+
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.barrier()
+        else:
+            yield from ctx.compute(seconds(10))  # never reaches the barrier
+            yield from ctx.comm.barrier()
+
+    runtime.launch(JobSpec(app=app, n_ranks=2))
+    cluster.env.run(until=ms(5))
+    report = diagnose(runtime)
+    assert "barrier" in report
+    assert "waiting for local ranks [1]" in report
+
+
+def test_clean_state_reports_nothing_pending():
+    cluster, runtime = make()
+
+    def app(ctx):
+        yield from ctx.compute(seconds(1))
+
+    runtime.launch(JobSpec(app=app, n_ranks=2))
+    cluster.env.run(until=ms(5))
+    report = diagnose(runtime)
+    assert "computing" in report
+    assert "NO matching" not in report
+    assert "blocked" not in report
+
+
+def test_watchdog_error_includes_diagnosis():
+    cluster, runtime = make()
+
+    def app(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.recv(source=1, tag=3)  # never sent
+        else:
+            yield ctx.env.timeout(1)
+
+    with pytest.raises(RuntimeError) as excinfo:
+        runtime.run_job(JobSpec(app=app, n_ranks=2), max_time=ms(20))
+    message = str(excinfo.value)
+    assert "stall diagnosis" in message
+    assert "NO matching send" in message

@@ -1,0 +1,65 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.harness.cli import COMMANDS, build_parser, main
+
+
+def test_parser_accepts_known_experiments():
+    args = build_parser().parse_args(["table1", "fig8a"])
+    assert args.experiments == ["table1", "fig8a"]
+    assert args.scale is None
+
+
+def test_parser_options():
+    args = build_parser().parse_args(
+        ["table2", "--scale", "0.1", "--ranks", "8", "--apps", "EP", "IS"]
+    )
+    assert args.scale == 0.1
+    assert args.ranks == 8
+    assert args.apps == ["EP", "IS"]
+
+
+def test_unknown_experiment_fails_cleanly(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "qsnet" in out
+    assert "caw_us" in out
+
+
+def test_table2_single_app_small(capsys):
+    assert main(["table2", "--scale", "0.02", "--ranks", "4", "--apps", "EP"]) == 0
+    out = capsys.readouterr().out
+    assert "EP" in out
+    assert "slowdown_pct" in out
+
+
+def test_fig9_alias_dedupes(capsys):
+    # fig9 and table2 share the implementation; asking for both runs once.
+    assert main(["fig9", "table2", "--scale", "0.02", "--ranks", "4", "--apps", "EP"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Fig 9 / Table 2") == 1
+
+
+def test_all_commands_registered():
+    expected = {
+        "table1", "fig8a", "fig8b", "fig8c", "fig8d",
+        "table2", "fig9", "fig10", "fig11", "ablations",
+    }
+    assert set(COMMANDS) == expected
+
+
+def test_save_writes_json(tmp_path, capsys):
+    out = tmp_path / "rows.json"
+    assert main(["table1", "--save", str(out)]) == 0
+    import json
+
+    data = json.loads(out.read_text())
+    assert len(data) == 1
+    rows = next(iter(data.values()))
+    assert rows and "caw_us" in rows[0]

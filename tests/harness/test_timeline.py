@@ -1,0 +1,110 @@
+"""Tests for the slice-timeline analysis."""
+
+import pytest
+
+from repro.apps import nearest_neighbor_benchmark
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.harness.timeline import SliceRecord, Timeline
+from repro.network import Cluster, ClusterSpec
+from repro.sim import Trace
+from repro.storm import JobSpec
+from repro.units import kib, ms, seconds, us
+
+
+def run_traced(app, params, n_ranks=8):
+    trace = Trace(categories=["bcs.microphase"])
+    cluster = Cluster(ClusterSpec(n_nodes=n_ranks // 2), trace=trace)
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    runtime.run_job(
+        JobSpec(app=app, n_ranks=n_ranks, params=params), max_time=seconds(30)
+    )
+    return Timeline.from_trace(trace, timeslice=runtime.config.timeslice)
+
+
+def test_timeline_captures_active_slices():
+    timeline = run_traced(
+        nearest_neighbor_benchmark,
+        dict(granularity=ms(2), iterations=5, message_bytes=kib(4)),
+    )
+    assert timeline.n_active_slices >= 5
+    means = timeline.mean_phase_durations()
+    assert "DEM" in means and "MSM" in means and "P2P" in means
+
+
+def test_scheduling_phase_matches_paper_budget():
+    """Mean DEM+MSM sits at the configured ~125 us minimum."""
+    timeline = run_traced(
+        nearest_neighbor_benchmark,
+        dict(granularity=ms(2), iterations=5, message_bytes=kib(4)),
+    )
+    sched = timeline.scheduling_phase_us()
+    assert sched is not None
+    assert 120.0 <= sched <= 200.0
+
+
+def test_utilization_strip_shape():
+    timeline = run_traced(
+        nearest_neighbor_benchmark,
+        dict(granularity=ms(2), iterations=5, message_bytes=kib(4)),
+    )
+    strip = timeline.utilization_strip(width=40)
+    assert 0 < len(strip) <= 40
+    assert any(ch != " " for ch in strip)
+
+
+def test_report_is_readable():
+    timeline = run_traced(
+        nearest_neighbor_benchmark,
+        dict(granularity=ms(2), iterations=3, message_bytes=kib(4)),
+    )
+    text = timeline.report()
+    assert "active slices" in text
+    assert "DEM" in text
+    assert "utilization" in text
+
+
+def test_empty_timeline():
+    timeline = Timeline([], timeslice=us(500))
+    assert timeline.n_active_slices == 0
+    assert timeline.utilization_strip() == ""
+    assert timeline.scheduling_phase_us() is None
+    assert "active slices: 0" in timeline.report()
+
+
+def test_manual_records_and_utilization():
+    rec = SliceRecord(slice_no=3, start=0, phases={"DEM": us(100), "P2P": us(150)})
+    timeline = Timeline([rec], timeslice=us(500))
+    assert timeline.utilization(rec) == pytest.approx(0.5)
+    assert timeline.mean_phase_durations()["P2P"] == pytest.approx(150.0)
+
+
+def test_invalid_timeslice_rejected():
+    with pytest.raises(ValueError):
+        Timeline([], timeslice=0)
+
+
+def test_chrome_trace_export(tmp_path):
+    timeline = run_traced(
+        nearest_neighbor_benchmark,
+        dict(granularity=ms(2), iterations=3, message_bytes=kib(4)),
+    )
+    events = timeline.to_chrome_trace()
+    assert events
+    assert all(e["ph"] == "X" for e in events)
+    assert all(e["dur"] > 0 for e in events)
+    phases = {e["name"] for e in events}
+    assert {"DEM", "MSM"} <= phases
+    # Events within one slice are ordered and non-overlapping.
+    by_slice = {}
+    for e in events:
+        by_slice.setdefault(e["args"]["slice"], []).append(e)
+    for evs in by_slice.values():
+        for a, b in zip(evs, evs[1:]):
+            assert b["ts"] >= a["ts"] + a["dur"] - 1e-9
+
+    path = tmp_path / "trace.json"
+    timeline.save_chrome_trace(path)
+    import json
+
+    data = json.loads(path.read_text())
+    assert len(data["traceEvents"]) == len(events)

@@ -1,0 +1,107 @@
+"""Tests for the extended MPI operations (sendrecv, scan, reduce_scatter)."""
+
+import numpy as np
+import pytest
+
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.mpi.baseline import BaselineConfig, BaselineRuntime
+from repro.network import Cluster, ClusterSpec
+from repro.storm import JobSpec
+from repro.units import seconds
+
+
+def run_app(app, n_ranks=4, backend="bcs", **params):
+    cluster = Cluster(ClusterSpec(n_nodes=max(n_ranks // 2, 1)))
+    if backend == "bcs":
+        runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    else:
+        runtime = BaselineRuntime(cluster, BaselineConfig(init_cost=0))
+    return runtime.run_job(
+        JobSpec(app=app, n_ranks=n_ranks, params=params), max_time=seconds(60)
+    )
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_sendrecv_ring_shift(backend):
+    def app(ctx):
+        got = yield from ctx.comm.sendrecv(
+            np.array([float(ctx.rank)]),
+            dest=(ctx.rank + 1) % ctx.size,
+            source=(ctx.rank - 1) % ctx.size,
+        )
+        return float(got[0])
+
+    job = run_app(app, backend=backend)
+    assert job.results == [3.0, 0.0, 1.0, 2.0]
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_sendrecv_pairwise_swap_no_deadlock(backend):
+    def app(ctx):
+        peer = ctx.rank ^ 1
+        got = yield from ctx.comm.sendrecv(ctx.rank * 10, dest=peer, source=peer)
+        return got
+
+    job = run_app(app, backend=backend)
+    assert job.results == [10, 0, 30, 20]
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_scan_inclusive(backend):
+    def app(ctx):
+        out = yield from ctx.comm.scan(np.float64(ctx.rank + 1), "sum")
+        return float(out)
+
+    job = run_app(app, backend=backend)
+    assert job.results == [1.0, 3.0, 6.0, 10.0]
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_exscan(backend):
+    def app(ctx):
+        out = yield from ctx.comm.exscan(np.float64(ctx.rank + 1), "sum")
+        return None if out is None else float(out)
+
+    job = run_app(app, backend=backend)
+    assert job.results == [None, 1.0, 3.0, 6.0]
+
+
+def test_scan_with_arrays():
+    def app(ctx):
+        out = yield from ctx.comm.scan(np.full(3, float(ctx.rank)), "max")
+        return out.tolist()
+
+    job = run_app(app)
+    assert job.results[-1] == [3.0, 3.0, 3.0]
+    assert job.results[0] == [0.0, 0.0, 0.0]
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_reduce_scatter_block(backend):
+    def app(ctx):
+        # Rank r contributes value (r+1) for every destination d.
+        chunks = [np.array([float(ctx.rank + 1)]) for _ in range(ctx.size)]
+        mine = yield from ctx.comm.reduce_scatter_block(chunks, "sum")
+        return float(np.asarray(mine).ravel()[0])
+
+    job = run_app(app, backend=backend)
+    # Every destination receives sum over ranks of (r+1) = 10.
+    assert job.results == [10.0, 10.0, 10.0, 10.0]
+
+
+def test_reduce_scatter_requires_chunk_per_rank():
+    def app(ctx):
+        with pytest.raises(ValueError):
+            yield from ctx.comm.reduce_scatter_block([1], "sum")
+
+    run_app(app)
+
+
+def test_scan_cross_backend_identical():
+    def app(ctx):
+        out = yield from ctx.comm.scan(np.float64(0.1 * (ctx.rank + 1)), "sum")
+        return float(out)
+
+    bcs = run_app(app, backend="bcs")
+    base = run_app(app, backend="baseline")
+    assert bcs.results == base.results

@@ -1,0 +1,83 @@
+"""Tests for persistent requests (MPI_Send_init/Recv_init/Startall)."""
+
+import numpy as np
+import pytest
+
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.mpi.baseline import BaselineConfig, BaselineRuntime
+from repro.network import Cluster, ClusterSpec
+from repro.storm import JobSpec
+from repro.units import seconds
+
+
+def run_app(app, n_ranks=2, backend="bcs", **params):
+    cluster = Cluster(ClusterSpec(n_nodes=1))
+    if backend == "bcs":
+        runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    else:
+        runtime = BaselineRuntime(cluster, BaselineConfig(init_cost=0))
+    return runtime.run_job(
+        JobSpec(app=app, n_ranks=n_ranks, params=params), max_time=seconds(30)
+    )
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_persistent_roundtrip_multiple_rounds(backend):
+    def app(ctx):
+        if ctx.rank == 0:
+            payload = np.zeros(4)
+            p = ctx.comm.send_init(payload, dest=1, tag=3)
+            for i in range(3):
+                payload[:] = float(i)
+                req = p.start()
+                yield from ctx.comm.wait(req)
+        else:
+            p = ctx.comm.recv_init(source=0, tag=3)
+            got = []
+            for _ in range(3):
+                req = p.start()
+                yield from ctx.comm.wait(req)
+                got.append(float(req.payload[0]))
+            return got
+
+    job = run_app(app, backend=backend)
+    assert job.results[1] == [0.0, 1.0, 2.0]
+
+
+def test_startall_activates_everything():
+    def app(ctx):
+        peer = ctx.rank ^ 1
+        ps = [
+            ctx.comm.send_init(None, dest=peer, tag=0, size=64),
+            ctx.comm.recv_init(source=peer, tag=0, size=64),
+        ]
+        reqs = ctx.comm.startall(ps)
+        yield from ctx.comm.waitall(reqs)
+        return all(p.complete for p in ps)
+
+    job = run_app(app)
+    assert job.results == [True, True]
+
+
+def test_double_start_while_active_rejected():
+    def app(ctx):
+        if ctx.rank == 0:
+            p = ctx.comm.recv_init(source=1, tag=9)
+            p.start()
+            with pytest.raises(RuntimeError):
+                p.start()
+            yield from ctx.comm.wait(p.active)
+        else:
+            yield from ctx.comm.send(b"x", dest=0, tag=9)
+
+    run_app(app)
+
+
+def test_inactive_persistent_is_complete():
+    def app(ctx):
+        p = ctx.comm.recv_init(source=0)
+        assert p.complete  # inactive counts as complete (MPI semantics)
+        assert p.payload is None
+        yield ctx.env.timeout(1)
+
+    run_app(app)

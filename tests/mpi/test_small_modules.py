@@ -1,0 +1,100 @@
+"""Tests for datatypes, ops, status, and request wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.bcs.descriptors import BcsRequest
+from repro.mpi import datatypes, ops
+from repro.mpi.request import MpiRequest
+from repro.mpi.status import Status
+from repro.sim import Engine
+
+
+# --- datatypes ---------------------------------------------------------------
+
+
+def test_datatype_extents():
+    assert datatypes.DOUBLE.extent == 8
+    assert datatypes.FLOAT.extent == 4
+    assert datatypes.INT.extent == 4
+    assert datatypes.BYTE.extent == 1
+
+
+def test_datatype_float_flags():
+    assert datatypes.DOUBLE.is_float
+    assert not datatypes.LONG.is_float
+
+
+def test_from_array_known_types():
+    assert datatypes.from_array(np.zeros(2)) is datatypes.DOUBLE
+    assert datatypes.from_array(np.zeros(2, dtype=np.int64)) is datatypes.LONG
+
+
+def test_from_array_opaque_fallback():
+    dt = datatypes.from_array(np.zeros(2, dtype=np.complex128))
+    assert "OPAQUE" in dt.name
+    assert dt.extent == 16
+    assert not dt.is_float
+
+
+# --- ops -----------------------------------------------------------------------
+
+
+def test_resolve_accepts_all_forms():
+    assert ops.resolve(ops.SUM) is ops.SUM
+    assert ops.resolve("MPI_SUM") is ops.SUM
+    assert ops.resolve("sum") is ops.SUM
+    assert ops.resolve("max").kernel == "max"
+
+
+def test_resolve_unknown_rejected():
+    with pytest.raises(ValueError):
+        ops.resolve("MPI_NOPE")
+
+
+def test_all_standard_ops_present():
+    names = {op for op in ops.BY_NAME}
+    assert {"MPI_SUM", "MPI_PROD", "MPI_MIN", "MPI_MAX", "MPI_LAND", "MPI_BXOR"} <= names
+
+
+# --- status ----------------------------------------------------------------------
+
+
+def test_status_get_count():
+    status = Status(source=3, tag=9, count_bytes=64)
+    assert status.get_count() == 64
+    assert status.get_count(8) == 8
+    with pytest.raises(ValueError):
+        status.get_count(0)
+
+
+# --- request wrapper ----------------------------------------------------------------
+
+
+def test_mpi_request_reflects_backend_state():
+    env = Engine()
+    backend = BcsRequest(env, "recv")
+    req = MpiRequest(backend, "irecv")
+    assert not req.complete
+    assert req.status() is None
+
+    backend.payload = b"data"
+    backend.source = 2
+    backend.tag = 5
+    backend.size = 4
+    backend._finish()
+    env.run()
+    assert req.complete
+    assert req.payload == b"data"
+    status = req.status()
+    assert status == Status(source=2, tag=5, count_bytes=4)
+
+
+def test_mpi_request_send_has_no_status():
+    env = Engine()
+    backend = BcsRequest(env, "send")
+    backend._finish()
+    env.run()
+    req = MpiRequest(backend, "isend")
+    assert req.complete
+    assert req.status() is None

@@ -1,0 +1,120 @@
+"""Tests for the vectorial collectives (paper Appendix A, Fig. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.bcs import BcsConfig, BcsRuntime, TruncationError
+from repro.mpi.baseline import BaselineConfig, BaselineRuntime
+from repro.network import Cluster, ClusterSpec
+from repro.storm import JobSpec
+from repro.units import seconds
+
+
+def run_app(app, n_ranks=4, backend="bcs", **params):
+    cluster = Cluster(ClusterSpec(n_nodes=max(n_ranks // 2, 1)))
+    if backend == "bcs":
+        runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    else:
+        runtime = BaselineRuntime(cluster, BaselineConfig(init_cost=0))
+    return runtime.run_job(
+        JobSpec(app=app, n_ranks=n_ranks, params=params), max_time=seconds(60)
+    )
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_scatterv_variable_chunks(backend):
+    def app(ctx):
+        if ctx.rank == 0:
+            chunks = [np.arange(float(r + 1)) for r in range(ctx.size)]
+            mine = yield from ctx.comm.scatterv(chunks, root=0)
+        else:
+            mine = yield from ctx.comm.scatterv(None, root=0)
+        return len(mine)
+
+    job = run_app(app, backend=backend)
+    assert job.results == [1, 2, 3, 4]
+
+
+def test_scatterv_sizes_enforced_on_bcs():
+    """Declared receive capacities catch oversized chunks (truncation)."""
+
+    def app(ctx):
+        sizes = [8] * ctx.size  # one float64 max
+        if ctx.rank == 0:
+            chunks = [np.arange(4.0) for _ in range(ctx.size)]  # 32 B each!
+            yield from ctx.comm.scatterv(chunks, root=0, sizes=sizes)
+        else:
+            yield from ctx.comm.scatterv(None, root=0, sizes=sizes)
+
+    cluster = Cluster(ClusterSpec(n_nodes=2))
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    job = runtime.launch(JobSpec(app=app, n_ranks=4))
+    with pytest.raises(TruncationError):
+        cluster.env.run(
+            until=cluster.env.any_of([job.done, cluster.env.timeout(seconds(10))])
+        )
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_gatherv_variable_contributions(backend):
+    def app(ctx):
+        mine = np.full(ctx.rank + 1, float(ctx.rank))
+        out = yield from ctx.comm.gatherv(mine, root=1)
+        if out is None:
+            return None
+        return [len(x) for x in out]
+
+    job = run_app(app, backend=backend)
+    assert job.results[1] == [1, 2, 3, 4]
+    assert job.results[0] is None
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_allgatherv(backend):
+    def app(ctx):
+        mine = list(range(ctx.rank + 1))
+        out = yield from ctx.comm.allgatherv(mine)
+        return [len(x) for x in out]
+
+    job = run_app(app, backend=backend)
+    assert all(r == [1, 2, 3, 4] for r in job.results)
+
+
+@pytest.mark.parametrize("backend", ["bcs", "baseline"])
+def test_alltoallv_asymmetric_matrix(backend):
+    def app(ctx):
+        # Rank i sends i+j+1 elements to rank j.
+        chunks = [np.full(ctx.rank + j + 1, float(ctx.rank)) for j in range(ctx.size)]
+        out = yield from ctx.comm.alltoallv(chunks)
+        # From rank j we receive j + my_rank + 1 elements, all == j.
+        return [(len(x), float(np.asarray(x).ravel()[0])) for x in out]
+
+    job = run_app(app, backend=backend)
+    for rank, row in enumerate(job.results):
+        for j, (n, v) in enumerate(row):
+            assert n == rank + j + 1
+            assert v == float(j)
+
+
+def test_alltoallv_validation():
+    def app(ctx):
+        with pytest.raises(ValueError):
+            yield from ctx.comm.alltoallv([1])
+        with pytest.raises(ValueError):
+            yield from ctx.comm.alltoallv([1] * ctx.size, sizes=[8])
+
+    run_app(app)
+
+
+def test_vector_ops_cross_backend_identical():
+    def app(ctx):
+        chunks = [
+            np.arange(float((ctx.rank + j) % 3 + 1)) * (ctx.rank + 1)
+            for j in range(ctx.size)
+        ]
+        out = yield from ctx.comm.alltoallv(chunks)
+        return [np.asarray(x).tobytes() for x in out]
+
+    bcs = run_app(app, backend="bcs")
+    base = run_app(app, backend="baseline")
+    assert bcs.results == base.results

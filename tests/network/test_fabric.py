@@ -1,0 +1,214 @@
+"""Unit and behaviour tests for the fabric (contention, timing, multicast)."""
+
+import pytest
+
+from repro.network import Cluster, ClusterSpec, qsnet
+from repro.units import KiB, MiB, bw_time, us
+
+
+def make_cluster(n=4, **kw):
+    return Cluster(ClusterSpec(n_nodes=n, **kw))
+
+
+def test_unicast_completes_and_accumulates_bytes():
+    cl = make_cluster()
+    done = []
+
+    def body():
+        yield from cl.fabric.unicast(0, 1, 4 * KiB)
+        done.append(cl.env.now)
+
+    cl.env.process(body())
+    cl.run()
+    assert len(done) == 1
+    assert done[0] > 0
+    assert cl.fabric.bytes_moved == 4 * KiB
+
+
+def test_unicast_time_has_latency_and_serialization():
+    cl = make_cluster()
+    model = cl.spec.model
+    size = 1 * MiB
+
+    def body():
+        yield from cl.fabric.unicast(0, 1, size)
+        return cl.env.now
+
+    t = cl.run(until=cl.env.process(body()))
+    expected_min = bw_time(size, model.link_bandwidth)
+    assert t >= expected_min
+    # But not wildly more than serialization + latency + startup.
+    assert t <= expected_min + model.latency(6) + model.dma_startup + us(50)
+
+
+def test_larger_messages_take_longer():
+    def time_for(size):
+        cl = make_cluster()
+
+        def body():
+            yield from cl.fabric.unicast(0, 1, size)
+            return cl.env.now
+
+        return cl.run(until=cl.env.process(body()))
+
+    assert time_for(1 * MiB) > time_for(64 * KiB) > time_for(1 * KiB)
+
+
+def test_farther_nodes_pay_more_latency():
+    def time_for(dst):
+        cl = make_cluster(n=16)
+
+        def body():
+            yield from cl.fabric.unicast(0, dst, 0)
+            return cl.env.now
+
+        return cl.run(until=cl.env.process(body()))
+
+    # Node 1 is a sibling (2 hops); node 15 crosses the root (4 hops).
+    assert time_for(15) > time_for(1)
+
+
+def test_loopback_skips_network():
+    def time_for(src, dst):
+        cl = make_cluster()
+
+        def body():
+            yield from cl.fabric.unicast(src, dst, 1 * KiB)
+            return cl.env.now
+
+        return cl.run(until=cl.env.process(body()))
+
+    # Local DMA avoids headers and wire latency entirely.
+    assert time_for(2, 2) < time_for(0, 1)
+
+
+def test_tx_contention_serializes_senders():
+    """Two transfers from the same source share the tx link."""
+    cl = make_cluster()
+    size = 1 * MiB
+    ends = []
+
+    def one(dst):
+        yield from cl.fabric.unicast(0, dst, size)
+        ends.append(cl.env.now)
+
+    cl.env.process(one(1))
+    cl.env.process(one(2))
+    cl.run()
+    single = bw_time(size, cl.spec.model.link_bandwidth)
+    # The second transfer cannot finish before ~2x the serialization time.
+    assert max(ends) >= 2 * single
+
+
+def test_disjoint_transfers_run_concurrently():
+    cl = make_cluster()
+    size = 1 * MiB
+    ends = []
+
+    def one(src, dst):
+        yield from cl.fabric.unicast(src, dst, size)
+        ends.append(cl.env.now)
+
+    cl.env.process(one(0, 1))
+    cl.env.process(one(2, 3))
+    cl.run()
+    single = bw_time(size, cl.spec.model.link_bandwidth)
+    # Both finish in about one serialization time: full overlap.
+    assert max(ends) < 2 * single
+
+
+def test_rx_contention_serializes_receivers():
+    cl = make_cluster()
+    size = 1 * MiB
+    ends = []
+
+    def one(src):
+        yield from cl.fabric.unicast(src, 3, size)
+        ends.append(cl.env.now)
+
+    cl.env.process(one(0))
+    cl.env.process(one(1))
+    cl.run()
+    single = bw_time(size, cl.spec.model.link_bandwidth)
+    assert max(ends) >= 2 * single
+
+
+def test_multicast_reaches_all_and_counts_bytes():
+    cl = make_cluster(n=8)
+
+    def body():
+        yield from cl.fabric.multicast(0, range(1, 8), 4 * KiB)
+        return cl.env.now
+
+    t = cl.run(until=cl.env.process(body()))
+    assert t > 0
+    assert cl.fabric.bytes_moved == 7 * 4 * KiB
+
+
+def test_multicast_excludes_self_delivery_cost():
+    cl = make_cluster(n=4)
+
+    def body():
+        # Destination set includes the source; should not deadlock.
+        yield from cl.fabric.multicast(0, [0, 1, 2], 1 * KiB)
+        return cl.env.now
+
+    assert cl.run(until=cl.env.process(body())) > 0
+
+
+def test_empty_multicast_is_noop():
+    cl = make_cluster()
+
+    def body():
+        yield from cl.fabric.multicast(0, [], 1 * KiB)
+        return cl.env.now
+
+    assert cl.run(until=cl.env.process(body())) == 0
+
+
+def test_concurrent_multicasts_do_not_deadlock():
+    cl = make_cluster(n=8)
+    done = []
+
+    def caster(src):
+        yield from cl.fabric.multicast(src, range(8), 64 * KiB)
+        done.append(src)
+
+    for src in range(8):
+        cl.env.process(caster(src))
+    cl.run()
+    assert sorted(done) == list(range(8))
+
+
+def test_crossing_unicasts_do_not_deadlock():
+    cl = make_cluster()
+    done = []
+
+    def one(src, dst):
+        yield from cl.fabric.unicast(src, dst, 1 * MiB)
+        done.append((src, dst))
+
+    cl.env.process(one(0, 1))
+    cl.env.process(one(1, 0))
+    cl.env.process(one(2, 3))
+    cl.env.process(one(3, 2))
+    cl.run()
+    assert len(done) == 4
+
+
+def test_negative_size_rejected():
+    cl = make_cluster()
+    proc = cl.env.process(cl.fabric.unicast(0, 1, -1))
+    with pytest.raises(ValueError):
+        cl.run(until=proc)
+
+
+def test_conditional_costs_cw_latency():
+    cl = make_cluster(n=16)
+
+    def body():
+        yield from cl.fabric.conditional(0)
+        return cl.env.now
+
+    t = cl.run(until=cl.env.process(body()))
+    assert t == cl.spec.model.cw_latency(cl.fabric.n_nodes)

@@ -1,0 +1,143 @@
+"""Tests for the NIC model: events, FIFOs, thread processor."""
+
+import pytest
+
+from repro.network import Cluster, ClusterSpec
+from repro.network.nic import Nic, NicEvent
+from repro.sim import Engine
+
+
+def test_nic_event_signal_then_poll():
+    env = Engine()
+    ev = NicEvent(env)
+    assert not ev.poll()
+    ev.signal()
+    assert ev.peek()
+    assert ev.poll()
+    assert not ev.poll()  # consumed
+
+
+def test_nic_event_counts_accumulate():
+    env = Engine()
+    ev = NicEvent(env)
+    ev.signal(3)
+    assert ev.count == 3
+    assert ev.poll() and ev.poll() and ev.poll()
+    assert not ev.poll()
+
+
+def test_nic_event_invalid_signal():
+    env = Engine()
+    ev = NicEvent(env)
+    with pytest.raises(ValueError):
+        ev.signal(0)
+
+
+def test_nic_event_wait_blocks_until_signal():
+    env = Engine()
+    ev = NicEvent(env)
+
+    def waiter():
+        yield from ev.wait()
+        return env.now
+
+    def signaler():
+        yield env.timeout(25)
+        ev.signal()
+
+    proc = env.process(waiter())
+    env.process(signaler())
+    assert env.run(until=proc) == 25
+
+
+def test_nic_event_wait_immediate_when_pending():
+    env = Engine()
+    ev = NicEvent(env)
+    ev.signal()
+
+    def waiter():
+        yield from ev.wait()
+        return env.now
+
+    assert env.run(until=env.process(waiter())) == 0
+    assert ev.count == 0
+
+
+def test_nic_event_waiters_fifo():
+    env = Engine()
+    ev = NicEvent(env)
+    order = []
+
+    def waiter(tag):
+        yield from ev.wait()
+        order.append(tag)
+
+    env.process(waiter("a"))
+    env.process(waiter("b"))
+
+    def signaler():
+        yield env.timeout(1)
+        ev.signal(2)
+
+    env.process(signaler())
+    env.run()
+    assert order == ["a", "b"]
+
+
+def test_nic_named_events_and_fifos_are_cached():
+    env = Engine()
+    nic = Nic(env, 0)
+    assert nic.event("x") is nic.event("x")
+    assert nic.event("x") is not nic.event("y")
+    assert nic.fifo("q") is nic.fifo("q")
+
+
+def test_thread_processor_serializes_nic_compute():
+    env = Engine()
+    nic = Nic(env, 0, thread_op_cost=100)
+    spans = []
+
+    def worker(tag):
+        start = env.now
+        yield from nic.compute()
+        spans.append((tag, start, env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    # Second op waits for the first: total 200 ns, not 100.
+    assert spans[1][2] == 200
+
+
+def test_zero_cost_nic_compute_is_free():
+    env = Engine()
+    nic = Nic(env, 0, thread_op_cost=0)
+
+    def worker():
+        yield from nic.compute()
+        yield from nic.compute(0)
+        return env.now
+
+    # Generators with no ops complete at t=0 (need an engine-run shim).
+    def shim():
+        yield env.timeout(0)
+        yield from nic.compute()
+        return env.now
+
+    assert env.run(until=env.process(shim())) == 0
+
+
+def test_cluster_wires_nics_to_nodes():
+    cluster = Cluster(ClusterSpec(n_nodes=3))
+    assert len(cluster.nodes) == 4  # 3 compute + 1 management
+    assert cluster.management_node.id == 3
+    for node in cluster.compute_nodes:
+        assert node.nic.node_id == node.id
+        assert node.cpu.capacity == 2
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(n_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(n_nodes=2, cpus_per_node=0)

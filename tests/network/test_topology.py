@@ -1,0 +1,70 @@
+"""Unit tests for the fat-tree topology."""
+
+import pytest
+
+from repro.network import FatTree
+
+
+def test_same_node_zero_hops():
+    tree = FatTree(16)
+    assert tree.hops(3, 3) == 0
+
+
+def test_siblings_two_hops():
+    tree = FatTree(16, radix=4)
+    # Nodes 0..3 share a level-1 switch.
+    assert tree.hops(0, 1) == 2
+    assert tree.hops(2, 3) == 2
+
+
+def test_cross_subtree_hops():
+    tree = FatTree(16, radix=4)
+    # 0 and 4 meet at level 2.
+    assert tree.hops(0, 4) == 4
+    assert tree.hops(0, 15) == 4
+
+
+def test_three_levels():
+    tree = FatTree(64, radix=4)
+    assert tree.levels == 3
+    assert tree.hops(0, 63) == 6
+    assert tree.max_hops() == 6
+
+
+def test_hops_symmetric():
+    tree = FatTree(32, radix=4)
+    for a, b in [(0, 31), (5, 9), (14, 2)]:
+        assert tree.hops(a, b) == tree.hops(b, a)
+
+
+def test_single_node_tree():
+    tree = FatTree(1)
+    assert tree.levels == 1
+    assert tree.hops(0, 0) == 0
+
+
+def test_out_of_range_rejected():
+    tree = FatTree(8)
+    with pytest.raises(IndexError):
+        tree.hops(0, 8)
+    with pytest.raises(IndexError):
+        tree.hops(-1, 0)
+
+
+def test_non_power_sizes():
+    tree = FatTree(33, radix=4)
+    assert tree.levels == 3
+    assert tree.hops(0, 32) == 6
+
+
+def test_multicast_hops_grow_with_dest_count():
+    tree = FatTree(64, radix=4)
+    assert tree.multicast_hops(2) <= tree.multicast_hops(64)
+    assert tree.multicast_hops(1) == 2
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        FatTree(0)
+    with pytest.raises(ValueError):
+        FatTree(4, radix=1)

@@ -1,0 +1,86 @@
+"""Tests for RNG registries and the trace sink."""
+
+from repro.sim import NullTrace, RngRegistry, Trace, derive_seed
+
+
+# --- rng -----------------------------------------------------------------------
+
+
+def test_derive_seed_deterministic_and_distinct():
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_streams_are_cached_and_independent():
+    reg = RngRegistry(42)
+    s1 = reg.stream("noise")
+    s2 = reg.stream("noise")
+    assert s1 is s2
+    a = reg.stream("a").random(4).tolist()
+    # Drawing from one stream must not perturb another.
+    reg2 = RngRegistry(42)
+    reg2.stream("b").random(100)
+    assert reg2.stream("a").random(4).tolist() == a
+
+
+def test_spawn_disjoint():
+    reg = RngRegistry(7)
+    child = reg.spawn("x")
+    assert child.root_seed != reg.root_seed
+    assert child.stream("s").random() != reg.stream("s").random()
+
+
+# --- trace ------------------------------------------------------------------------
+
+
+def test_trace_category_filtering():
+    trace = Trace(categories=["keep"])
+    trace.emit(10, "keep", a=1)
+    trace.emit(20, "drop", b=2)
+    assert len(trace.records) == 1
+    assert trace.records[0].category == "keep"
+    assert trace.by_category("drop") == []
+
+
+def test_trace_capture_all():
+    trace = Trace(capture_all=True)
+    trace.emit(1, "anything", x=1)
+    assert trace.enabled_for("whatever")
+    assert len(trace.records) == 1
+
+
+def test_trace_counters_and_histograms():
+    trace = Trace()
+    trace.count("msgs")
+    trace.count("msgs", 4)
+    trace.observe("latency", 2.5)
+    trace.observe("latency", 3.5)
+    assert trace.counters["msgs"] == 5
+    assert trace.histograms["latency"] == [2.5, 3.5]
+    trace.clear()
+    assert not trace.counters and not trace.records
+
+
+def test_null_trace_captures_nothing():
+    trace = NullTrace()
+    trace.emit(1, "x", a=1)
+    assert trace.records == []
+    assert not trace.enabled_for("x")
+
+
+def test_fabric_emits_to_trace():
+    from repro.network import Cluster, ClusterSpec
+
+    trace = Trace(categories=["fabric.unicast"])
+    cluster = Cluster(ClusterSpec(n_nodes=2), trace=trace)
+
+    def body():
+        yield from cluster.fabric.unicast(0, 1, 1024)
+
+    cluster.env.process(body())
+    cluster.run()
+    assert len(trace.records) == 1
+    rec = trace.records[0]
+    assert rec.fields["src"] == 0 and rec.fields["dst"] == 1
+    assert rec.fields["size"] == 1024

@@ -1,0 +1,286 @@
+"""Unit + property tests: softfloat must match the host FPU bit-for-bit."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.softfloat import (
+    NEG_INF,
+    NEG_ZERO,
+    POS_INF,
+    POS_ZERO,
+    QNAN,
+    bits_to_float,
+    f64_add,
+    f64_cmp,
+    f64_from_int,
+    f64_max,
+    f64_min,
+    f64_mul,
+    f64_neg,
+    f64_sub,
+    float_to_bits,
+    is_nan,
+)
+
+
+def B(x: float) -> int:
+    return float_to_bits(x)
+
+
+def check_binop(soft, hard, a: float, b: float):
+    got = soft(B(a), B(b))
+    want_f = hard(a, b)
+    if math.isnan(want_f):
+        assert is_nan(got), f"{a} op {b}: expected NaN, got {bits_to_float(got)}"
+    else:
+        assert got == B(want_f), (
+            f"{a!r} op {b!r}: soft={bits_to_float(got)!r} hard={want_f!r}"
+        )
+
+
+# --- targeted cases ------------------------------------------------------------
+
+SPECIALS = [
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    2.0,
+    0.5,
+    1.5,
+    math.pi,
+    1e308,
+    -1e308,
+    1e-308,
+    5e-324,           # min subnormal
+    2.2250738585072014e-308,  # min normal
+    1.7976931348623157e308,   # max finite
+    float("inf"),
+    float("-inf"),
+    3.0,
+    1 / 3,
+    123456789.123456789,
+    -2e-300,
+]
+
+
+@pytest.mark.parametrize("a", SPECIALS)
+@pytest.mark.parametrize("b", SPECIALS)
+def test_add_specials(a, b):
+    check_binop(f64_add, lambda x, y: x + y, a, b)
+
+
+@pytest.mark.parametrize("a", SPECIALS)
+@pytest.mark.parametrize("b", SPECIALS)
+def test_mul_specials(a, b):
+    check_binop(f64_mul, lambda x, y: x * y, a, b)
+
+
+@pytest.mark.parametrize("a", SPECIALS)
+@pytest.mark.parametrize("b", SPECIALS)
+def test_sub_specials(a, b):
+    check_binop(f64_sub, lambda x, y: x - y, a, b)
+
+
+def test_nan_propagation():
+    assert is_nan(f64_add(QNAN, B(1.0)))
+    assert is_nan(f64_mul(B(2.0), QNAN))
+    assert is_nan(f64_add(POS_INF, NEG_INF))
+    assert is_nan(f64_mul(POS_INF, POS_ZERO))
+    assert is_nan(f64_sub(POS_INF, POS_INF))
+
+
+def test_signed_zero_rules():
+    assert f64_add(POS_ZERO, NEG_ZERO) == POS_ZERO
+    assert f64_add(NEG_ZERO, NEG_ZERO) == NEG_ZERO
+    assert f64_sub(B(1.0), B(1.0)) == POS_ZERO  # exact cancellation -> +0
+    assert f64_mul(B(-1.0), POS_ZERO) == NEG_ZERO
+
+
+def test_overflow_to_infinity():
+    big = B(1.7976931348623157e308)
+    assert f64_add(big, big) == POS_INF
+    assert f64_mul(big, B(2.0)) == POS_INF
+    assert f64_mul(f64_neg(big), B(2.0)) == NEG_INF
+
+
+def test_underflow_to_subnormal_and_zero():
+    tiny = B(5e-324)
+    assert bits_to_float(f64_mul(tiny, B(0.5))) == 0.0  # rounds to zero (RNE)
+    assert bits_to_float(f64_add(tiny, tiny)) == 1e-323
+
+
+def test_round_to_nearest_even_tie():
+    # 1 + 2^-53 is a tie; RNE keeps 1.0.
+    one = B(1.0)
+    ulp_half = B(2.0**-53)
+    assert f64_add(one, ulp_half) == one
+    # 1 + 2^-52 is exact.
+    assert bits_to_float(f64_add(one, B(2.0**-52))) == 1.0 + 2.0**-52
+
+
+def test_neg_flips_sign_only():
+    assert f64_neg(B(2.5)) == B(-2.5)
+    assert f64_neg(POS_ZERO) == NEG_ZERO
+
+
+# --- comparison / min / max ---------------------------------------------------------
+
+
+def test_cmp_basic():
+    assert f64_cmp(B(1.0), B(2.0)) == -1
+    assert f64_cmp(B(2.0), B(1.0)) == 1
+    assert f64_cmp(B(1.0), B(1.0)) == 0
+    assert f64_cmp(POS_ZERO, NEG_ZERO) == 0
+    assert f64_cmp(B(-1.0), B(1.0)) == -1
+    assert f64_cmp(B(-2.0), B(-1.0)) == -1
+    assert f64_cmp(QNAN, B(0.0)) is None
+
+
+def test_min_max_semantics():
+    assert f64_min(B(1.0), B(2.0)) == B(1.0)
+    assert f64_max(B(1.0), B(2.0)) == B(2.0)
+    assert f64_min(NEG_INF, B(0.0)) == NEG_INF
+    # NaN loses to numbers (minNum/maxNum).
+    assert f64_min(QNAN, B(3.0)) == B(3.0)
+    assert f64_max(B(3.0), QNAN) == B(3.0)
+    assert is_nan(f64_min(QNAN, QNAN))
+    # Signed zeros: min prefers -0, max prefers +0.
+    assert f64_min(POS_ZERO, NEG_ZERO) == NEG_ZERO
+    assert f64_max(NEG_ZERO, POS_ZERO) == POS_ZERO
+
+
+# --- int conversion ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "n", [0, 1, -1, 2, 2**52, 2**53, 2**53 + 1, -(2**60), 10**18, 2**62 + 12345]
+)
+def test_from_int_matches_host(n):
+    assert f64_from_int(n) == B(float(n))
+
+
+# --- property tests against the FPU ----------------------------------------------------
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+anyfloat = st.floats(allow_nan=True, allow_infinity=True)
+
+
+@settings(max_examples=400)
+@given(finite, finite)
+def test_prop_add_matches_fpu(a, b):
+    check_binop(f64_add, lambda x, y: x + y, a, b)
+
+
+@settings(max_examples=400)
+@given(finite, finite)
+def test_prop_mul_matches_fpu(a, b):
+    check_binop(f64_mul, lambda x, y: x * y, a, b)
+
+
+@settings(max_examples=200)
+@given(anyfloat, anyfloat)
+def test_prop_sub_matches_fpu(a, b):
+    check_binop(f64_sub, lambda x, y: x - y, a, b)
+
+
+@settings(max_examples=200)
+@given(finite, finite)
+def test_prop_add_commutative(a, b):
+    assert f64_add(B(a), B(b)) == f64_add(B(b), B(a))
+
+
+@settings(max_examples=200)
+@given(finite, finite)
+def test_prop_cmp_matches_python(a, b):
+    want = (a > b) - (a < b)
+    assert f64_cmp(B(a), B(b)) == want
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=-(2**63), max_value=2**63))
+def test_prop_from_int_matches_host(n):
+    assert f64_from_int(n) == B(float(n))
+
+
+@settings(max_examples=200)
+@given(finite)
+def test_prop_add_zero_identity(a):
+    assert f64_add(B(a), POS_ZERO) == B(a) or (a == 0.0)
+
+
+@settings(max_examples=200)
+@given(finite)
+def test_prop_mul_one_identity(a):
+    assert f64_mul(B(a), B(1.0)) == B(a)
+
+
+# --- division and square root ------------------------------------------------------
+
+from repro.softfloat import f64_div, f64_sqrt
+
+
+@pytest.mark.parametrize("a", SPECIALS)
+@pytest.mark.parametrize("b", SPECIALS)
+def test_div_specials(a, b):
+    def hard_div(x, y):
+        try:
+            return x / y
+        except ZeroDivisionError:
+            if x == 0.0:
+                return float("nan")
+            negative = (x < 0) ^ (str(y)[0] == "-")
+            return float("-inf") if negative else float("inf")
+
+    check_binop(f64_div, hard_div, a, b)
+
+
+def test_div_invalid_cases():
+    assert is_nan(f64_div(POS_INF, NEG_INF))
+    assert is_nan(f64_div(POS_ZERO, NEG_ZERO))
+    assert f64_div(B(1.0), POS_ZERO) == POS_INF
+    assert f64_div(B(-1.0), POS_ZERO) == NEG_INF
+    assert f64_div(B(1.0), NEG_ZERO) == NEG_INF
+    assert f64_div(POS_ZERO, B(5.0)) == POS_ZERO
+
+
+@settings(max_examples=400)
+@given(finite, finite)
+def test_prop_div_matches_fpu(a, b):
+    import numpy as np
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore", under="ignore"):
+        want = np.float64(a) / np.float64(b)
+    got = f64_div(B(a), B(b))
+    if math.isnan(want):
+        assert is_nan(got)
+    else:
+        assert got == B(float(want)), (a, b, bits_to_float(got), float(want))
+
+
+def test_sqrt_specials():
+    assert f64_sqrt(POS_ZERO) == POS_ZERO
+    assert f64_sqrt(NEG_ZERO) == NEG_ZERO
+    assert f64_sqrt(POS_INF) == POS_INF
+    assert is_nan(f64_sqrt(B(-1.0)))
+    assert is_nan(f64_sqrt(NEG_INF))
+    assert is_nan(f64_sqrt(QNAN))
+    assert f64_sqrt(B(4.0)) == B(2.0)
+    assert f64_sqrt(B(2.0)) == B(math.sqrt(2.0))
+
+
+@settings(max_examples=400)
+@given(st.floats(min_value=0.0, allow_nan=False, allow_infinity=False))
+def test_prop_sqrt_matches_fpu(x):
+    assert f64_sqrt(B(x)) == B(math.sqrt(x))
+
+
+@settings(max_examples=200)
+@given(finite)
+def test_prop_div_by_self_is_one(a):
+    if a != 0.0 and not math.isinf(a):
+        assert f64_div(B(a), B(a)) == B(1.0)

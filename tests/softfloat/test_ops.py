@@ -1,0 +1,92 @@
+"""NIC-path vs host-path reduction equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.softfloat import combine_host, combine_nic, reduce_buffers
+
+
+def test_sum_paths_match_float():
+    rng = np.random.default_rng(1)
+    bufs = [rng.normal(size=16) for _ in range(5)]
+    nic = reduce_buffers("sum", bufs, path="nic")
+    host = reduce_buffers("sum", bufs, path="host")
+    assert nic.tobytes() == host.tobytes()  # bit-identical
+
+
+@pytest.mark.parametrize("op", ["sum", "prod", "min", "max"])
+def test_all_float_ops_paths_match(op):
+    rng = np.random.default_rng(2)
+    bufs = [rng.normal(size=8) * 10 for _ in range(4)]
+    nic = reduce_buffers(op, bufs, path="nic")
+    host = reduce_buffers(op, bufs, path="host")
+    assert nic.tobytes() == host.tobytes()
+
+
+@pytest.mark.parametrize("op", ["sum", "prod", "min", "max", "band", "bor", "bxor"])
+def test_integer_ops(op):
+    rng = np.random.default_rng(3)
+    bufs = [rng.integers(0, 100, size=8, dtype=np.int64) for _ in range(3)]
+    nic = reduce_buffers(op, bufs, path="nic")
+    host = reduce_buffers(op, bufs, path="host")
+    assert (nic == host).all()
+
+
+def test_logical_ops():
+    a = np.array([0, 1, 1, 0], dtype=np.int64)
+    b = np.array([0, 1, 0, 1], dtype=np.int64)
+    assert list(combine_nic("land", a, b)) == [0, 1, 0, 0]
+    assert list(combine_nic("lor", a, b)) == [0, 1, 1, 1]
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        combine_nic("sum", np.zeros(3), np.zeros(4))
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        combine_nic("xor", np.zeros(2), np.zeros(2))
+    with pytest.raises(ValueError):
+        combine_host("nope", np.zeros(2), np.zeros(2))
+    with pytest.raises(ValueError):
+        combine_nic("band", np.zeros(2), np.zeros(2))  # bitwise on floats
+
+
+def test_empty_reduce_rejected():
+    with pytest.raises(ValueError):
+        reduce_buffers("sum", [])
+
+
+def test_single_buffer_reduce_is_copy():
+    buf = np.arange(4, dtype=np.float64)
+    out = reduce_buffers("sum", [buf])
+    assert (out == buf).all()
+    out[0] = 99.0
+    assert buf[0] == 0.0  # must not alias the input
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(TypeError):
+        combine_nic("sum", np.zeros(2, dtype=np.complex128), np.zeros(2, dtype=np.complex128))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            min_size=4,
+            max_size=4,
+        ),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_prop_nic_sum_equals_host_sum(rows):
+    bufs = [np.array(r, dtype=np.float64) for r in rows]
+    nic = reduce_buffers("sum", bufs, path="nic")
+    host = reduce_buffers("sum", bufs, path="host")
+    assert nic.tobytes() == host.tobytes()

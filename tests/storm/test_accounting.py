@@ -1,0 +1,83 @@
+"""Tests for STORM per-job accounting."""
+
+import numpy as np
+import pytest
+
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.network import Cluster, ClusterSpec
+from repro.storm import JobSpec, collect_usage, usage_report
+from repro.units import kib, ms, seconds, us
+
+
+def run_job(app, n_ranks=4, **params):
+    cluster = Cluster(ClusterSpec(n_nodes=n_ranks // 2))
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    job = runtime.run_job(
+        JobSpec(app=app, n_ranks=n_ranks, name="acct", params=params),
+        max_time=seconds(30),
+    )
+    return runtime, job
+
+
+def _app(ctx):
+    yield from ctx.compute(ms(4))
+    if ctx.rank == 0:
+        yield from ctx.comm.send(np.zeros(512), dest=1, tag=0)
+    elif ctx.rank == 1:
+        yield from ctx.comm.recv(source=0, tag=0)
+    yield from ctx.comm.barrier()
+
+
+def test_cpu_time_accounted_with_tax():
+    runtime, job = run_job(_app)
+    usage = collect_usage(runtime)[0]
+    expected = 4 * ms(4)  # four ranks x 4 ms
+    assert usage.cpu_ns >= expected  # includes the NM tax
+    assert usage.cpu_ns < expected * 1.1
+
+
+def test_messages_bytes_collectives_counted():
+    runtime, job = run_job(_app)
+    usage = collect_usage(runtime)[0]
+    assert usage.messages == 1
+    assert usage.bytes_sent == 512 * 8
+    assert usage.collectives == 4  # barrier posted by each rank
+
+
+def test_blocked_time_positive_for_blocking_calls():
+    runtime, job = run_job(_app)
+    usage = collect_usage(runtime)[0]
+    # The receive + barrier suspensions are visible.
+    assert usage.blocked_ns > us(500)
+    assert usage.wall_ns >= usage.blocked_ns / job.n_ranks
+
+
+def test_cpu_efficiency_bounds():
+    runtime, job = run_job(_app)
+    usage = collect_usage(runtime)[0]
+    assert 0.0 < usage.cpu_efficiency < 1.0
+
+
+def test_usage_report_renders():
+    runtime, job = run_job(_app)
+    text = usage_report(runtime)
+    assert "acct" in text
+    assert "eff" in text
+    assert "msgs" in text
+
+
+def test_two_jobs_accounted_separately():
+    cluster = Cluster(ClusterSpec(n_nodes=2))
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+
+    def small(ctx):
+        yield from ctx.compute(ms(1))
+
+    def big(ctx):
+        yield from ctx.compute(ms(8))
+
+    j1 = runtime.launch(JobSpec(app=small, n_ranks=2, name="small"))
+    j2 = runtime.launch(JobSpec(app=big, n_ranks=2, name="big"))
+    cluster.env.run(until=cluster.env.all_of([j1.done, j2.done]))
+    usages = {u.name: u for u in collect_usage(runtime)}
+    assert usages["big"].cpu_ns > usages["small"].cpu_ns * 4

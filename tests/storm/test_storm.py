@@ -1,0 +1,160 @@
+"""Tests for the STORM substrate: jobs, launcher, heartbeats, MM."""
+
+import pytest
+
+from repro.bcs import BcsConfig, BcsRuntime
+from repro.core import BcsCore
+from repro.network import Cluster, ClusterSpec
+from repro.storm import (
+    HeartbeatService,
+    JobSpec,
+    MachineManager,
+    StormLauncher,
+    block_placement,
+)
+from repro.storm.job import Job
+from repro.units import mib, ms, seconds, us
+
+
+# --- JobSpec / Job -----------------------------------------------------------
+
+
+def _noop(ctx):
+    yield ctx.env.timeout(1)
+
+
+def test_jobspec_validation():
+    with pytest.raises(ValueError):
+        JobSpec(app=_noop, n_ranks=0)
+
+
+def test_block_placement_fills_nodes():
+    assert block_placement(6, 4, 2) == [0, 0, 1, 1, 2, 2]
+    assert block_placement(3, 4, 2) == [0, 0, 1]
+
+
+def test_block_placement_capacity_check():
+    with pytest.raises(ValueError):
+        block_placement(10, 4, 2)
+
+
+def test_job_tracks_node_ranks():
+    from repro.sim import Engine
+
+    job = Job(Engine(), JobSpec(app=_noop, n_ranks=4), [0, 0, 1, 1])
+    assert job.nodes == [0, 1]
+    assert job.node_ranks == {0: [0, 1], 1: [2, 3]}
+    assert job.root_node == 0
+
+
+def test_job_completion_event():
+    from repro.sim import Engine
+
+    env = Engine()
+    job = Job(env, JobSpec(app=_noop, n_ranks=2), [0, 1])
+    job.rank_finished(0, "a")
+    assert not job.complete
+    job.rank_finished(1, "b")
+    assert job.complete
+    assert job.results == ["a", "b"]
+    with pytest.raises(RuntimeError):
+        job.rank_finished(0, "c")
+
+
+def test_job_placement_length_checked():
+    from repro.sim import Engine
+
+    with pytest.raises(ValueError):
+        Job(Engine(), JobSpec(app=_noop, n_ranks=3), [0, 1])
+
+
+# --- Launcher ------------------------------------------------------------------
+
+
+def test_launcher_distributes_binary_and_reports():
+    cluster = Cluster(ClusterSpec(n_nodes=8))
+    core = BcsCore(cluster)
+    launcher = StormLauncher(core, cluster.management_node.id)
+
+    def body():
+        report = yield from launcher.launch_binary(list(range(8)), mib(8))
+        return report
+
+    report = cluster.run(until=cluster.env.process(body()))
+    assert report.nodes == 8
+    assert report.transfer_ns > 0
+    assert report.total_ns >= report.transfer_ns + report.spawn_ns
+    # The binary landed in every node's global memory.
+    assert core.gas.gather(range(8), "storm_binary") == [mib(8)] * 8
+
+
+def test_launch_scales_sublinearly_with_nodes():
+    """Hardware multicast: 4x the nodes must NOT cost 4x the time."""
+
+    def launch_time(n):
+        cluster = Cluster(ClusterSpec(n_nodes=n))
+        core = BcsCore(cluster)
+        launcher = StormLauncher(core, cluster.management_node.id)
+
+        def body():
+            report = yield from launcher.launch_binary(list(range(n)), mib(8))
+            return report.total_ns
+
+        return cluster.run(until=cluster.env.process(body()))
+
+    t8, t32 = launch_time(8), launch_time(32)
+    assert t32 < 2 * t8
+
+
+# --- Heartbeats -------------------------------------------------------------------
+
+
+def test_heartbeat_tracks_liveness():
+    cluster = Cluster(ClusterSpec(n_nodes=4))
+    core = BcsCore(cluster)
+    hb = HeartbeatService(
+        core, cluster.management_node.id, [0, 1, 2, 3], period=ms(5)
+    )
+    hb.start(rounds=10)
+    cluster.run()
+    assert hb.stats.sent == 10
+    assert all(hb.stats.responses[n] == 10 for n in range(4))
+    assert all(hb.stats.missed[n] == 0 for n in range(4))
+
+
+def test_heartbeat_detects_failed_node():
+    cluster = Cluster(ClusterSpec(n_nodes=4))
+    core = BcsCore(cluster)
+    hb = HeartbeatService(
+        core, cluster.management_node.id, [0, 1, 2, 3], period=ms(5)
+    )
+
+    def killer():
+        yield cluster.env.timeout(ms(12))
+        hb.fail(2)
+
+    cluster.env.process(killer())
+    hb.start(rounds=10)
+    cluster.run()
+    assert hb.stats.missed[2] > 0
+    assert hb.stats.missed[0] == 0
+    assert hb.alive() == [0, 1, 3]
+
+
+# --- MachineManager end-to-end --------------------------------------------------------
+
+
+def test_mm_submit_runs_job_through_launcher():
+    cluster = Cluster(ClusterSpec(n_nodes=4))
+    runtime = BcsRuntime(cluster, BcsConfig(init_cost=0))
+    mm = MachineManager(runtime)
+
+    def app(ctx):
+        total = yield from ctx.comm.allreduce(float(ctx.rank), "sum")
+        return float(total)
+
+    job = mm.submit(JobSpec(app=app, n_ranks=4, name="mmjob"))
+    cluster.env.run(until=job.done)
+    assert job.results == [6.0] * 4
+    assert len(mm.launch_reports) == 1
+    assert mm.launch_reports[0].nodes == 2  # 4 ranks on 2 dual-CPU nodes

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; these tests keep them
+green.  Each example's ``main`` is invoked in-process (the heavier ones
+are exercised by scripts/reproduce_all.sh instead).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "bcs_core_primitives",
+    "quickstart",
+    "sweep3d_blocking_vs_nonblocking",
+    "multiprogramming_gang",
+    "storm_launch",
+    "checkpoint_restart",
+    "pfs_qos_and_timeline",
+]
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_examples_directory_complete():
+    """Every example on disk is either smoke-tested here or known-slow."""
+    known_slow = {"jacobi_solver", "noise_and_coscheduling"}
+    on_disk = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | known_slow

@@ -1,0 +1,52 @@
+"""Golden timing regressions.
+
+The simulator is bit-deterministic, so canonical runs have *exact*
+expected runtimes.  These pins catch accidental changes to the timing
+model (a new overhead, a protocol reordering, a budget tweak) that the
+shape-level benchmarks might absorb silently.  If a change is
+intentional, update the constants here and the measured values in
+EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.apps import barrier_benchmark, sage, sweep3d_blocking
+from repro.bcs import BcsConfig
+from repro.harness import run_workload
+from repro.mpi.baseline import BaselineConfig
+from repro.units import ms
+
+BC = BcsConfig(init_cost=0)
+BL = BaselineConfig(init_cost=0)
+
+GOLDEN = [
+    # (app, backend, params, exact runtime in ns)
+    (sage, "bcs", dict(steps=3, step_compute=ms(5)), 18_500_000),
+    (sage, "baseline", dict(steps=3, step_compute=ms(5)), 21_123_620),
+    (sweep3d_blocking, "bcs", dict(octants=2, kblocks=2), 45_017_500),
+    (barrier_benchmark, "bcs", dict(granularity=ms(2), iterations=3), 9_500_000),
+]
+
+
+@pytest.mark.parametrize(
+    "app,backend,params,expected",
+    GOLDEN,
+    ids=[f"{a.__name__}-{b}" for a, b, _, _ in GOLDEN],
+)
+def test_golden_runtime(app, backend, params, expected):
+    result = run_workload(
+        app, 8, backend, params=params, bcs_config=BC, baseline_config=BL
+    )
+    assert result.runtime_ns == expected, (
+        f"{app.__name__} on {backend}: timing model changed "
+        f"({result.runtime_ns} ns vs pinned {expected} ns). If intentional, "
+        "update GOLDEN and EXPERIMENTS.md."
+    )
+
+
+def test_golden_sage_runs_land_on_slice_boundaries():
+    """BCS job completion always aligns to the slice grid."""
+    result = run_workload(
+        sage, 8, "bcs", params=dict(steps=3, step_compute=ms(5)), bcs_config=BC
+    )
+    assert result.runtime_ns % BC.timeslice == 0
