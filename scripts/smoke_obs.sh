@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the observability pipeline: run one
+# instrumented experiment, export the Perfetto trace and the metrics
+# report, and check both for the things a human would look for first.
+#
+#   ./scripts/smoke_obs.sh            # uses a temp dir, cleans up after
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== trace export =="
+python -m repro.harness.cli trace fig8 --ranks 8 --out "$workdir/trace.json"
+
+echo "== trace validation =="
+python - "$workdir/trace.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert doc["displayTimeUnit"] == "ns", "missing displayTimeUnit"
+assert events, "empty trace"
+names = {e["name"] for e in events if e["ph"] == "X"}
+for phase in ("DEM", "MSM", "BBM"):
+    assert phase in names, f"no {phase} spans in trace"
+assert any(n.startswith("slice ") for n in names), "no slice spans"
+print(f"ok: {len(events)} events, span names include DEM/MSM/BBM")
+EOF
+
+echo "== determinism (two same-seed exports) =="
+python -m repro.harness.cli trace fig8 --ranks 8 --out "$workdir/trace2.json"
+cmp "$workdir/trace.json" "$workdir/trace2.json"
+echo "ok: byte-identical"
+
+echo "== metrics report =="
+python -m repro.harness.cli metrics fig8 --ranks 8 | tee "$workdir/metrics.txt"
+grep -q "bcs.microphase.duration_ns" "$workdir/metrics.txt"
+grep -q "@--- MPI Time" "$workdir/metrics.txt"
+
+echo "smoke_obs: all checks passed"

@@ -73,6 +73,11 @@ class BcsApi:
         if stats is not None:
             stats["messages"] += 1
             stats["bytes"] += nbytes
+        obs = self.runtime.obs
+        if obs is not None and obs.profiler is not None:
+            obs.profiler.record_post(
+                info.job.id, handle.world_rank, "send", nbytes
+            )
         if self.runtime.config.buffered_sends:
             # Buffered coscheduling: the payload is snapshotted at post
             # time and the send buffer is immediately reusable, so the
@@ -107,6 +112,9 @@ class BcsApi:
         )
         handle.nrt.post_recv(desc)
         handle.pending_overhead += self.runtime.config.descriptor_post_cost
+        obs = self.runtime.obs
+        if obs is not None and obs.profiler is not None:
+            obs.profiler.record_post(info.job.id, handle.world_rank, "recv", 0)
         return req
 
     def post_collective(
@@ -143,6 +151,11 @@ class BcsApi:
         stats = self.runtime.job_stats.get(info.job.id)
         if stats is not None:
             stats["collectives"] += 1
+        obs = self.runtime.obs
+        if obs is not None and obs.profiler is not None:
+            obs.profiler.record_post(
+                info.job.id, handle.world_rank, kind, desc.size
+            )
         return req
 
     # -- tests / waits ------------------------------------------------------------------
@@ -188,6 +201,12 @@ class BcsApi:
             stats = self.runtime.job_stats.get(handle.job.id)
             if stats is not None:
                 stats["blocked_ns"] += blocked
+        obs = self.runtime.obs
+        if obs is not None and obs.profiler is not None:
+            op = f"wait({reqs[0].kind})" if reqs else "wait"
+            obs.profiler.record_wait(
+                handle.job.id, handle.world_rank, op, t0, self.env.now
+            )
 
     def probe(self, handle: "RankHandle", info, rank, source, tag) -> bool:
         """bcs_probe(non-blocking): is a matching message pending?

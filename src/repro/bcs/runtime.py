@@ -160,6 +160,21 @@ class BcsRuntime:
         #: Hooks invoked at every slice boundary with the new slice number
         #: (gang scheduler, instrumentation, ...).
         self.on_slice_start: List = []
+        #: Telemetry hub (:class:`repro.obs.Observability`) or None.
+        #: Hot paths guard on this — a bare runtime pays one attribute
+        #: read per hook point and nothing else.
+        self.obs = None
+
+    def attach_observability(self, obs) -> "BcsRuntime":
+        """Wire a telemetry hub into the runtime, scheduler, and NICs.
+
+        Instrumentation is passive (it never enters the event queue), so
+        attaching observability does not change simulated timings.
+        Returns the runtime for chaining.
+        """
+        self.obs = obs
+        obs.bind(self)
+        return self
 
     # -- registry ------------------------------------------------------------------
 

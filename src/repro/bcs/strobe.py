@@ -63,6 +63,7 @@ class StrobeReceiver:
             if strobe.phase == "STOP":
                 strobe.done.succeed(None)
                 return
+            t0 = nrt.env.now
             yield from handlers[strobe.phase](strobe)
             self.completed_phases += 1
             # Report completion in global memory; the SS's
@@ -70,6 +71,11 @@ class StrobeReceiver:
             nrt.runtime.core.gas.write(
                 nrt.node_id, "mphase_done", self.completed_phases
             )
+            obs = nrt.runtime.obs
+            if obs is not None:
+                obs.node_phase(
+                    nrt.node_id, strobe.phase, strobe.slice_no, t0, nrt.env.now
+                )
             strobe.done.succeed(None)
 
     def _dem(self, agents):
@@ -110,7 +116,12 @@ class StrobeSender:
             for nrt in runtime.node_runtimes:
                 nrt.slice_start.pulse(runtime.slice_no)
 
-            if runtime.any_work():
+            obs = runtime.obs
+            if obs is not None:
+                obs.slice_begin(runtime.slice_no, start)
+
+            active = runtime.any_work()
+            if active:
                 runtime.stats["active_slices"] += 1
                 yield from self._microphase(DEM, runtime.dem_nodes(), mins[DEM])
                 yield from self._microphase(MSM, runtime.msm_nodes(), mins[MSM])
@@ -123,10 +134,13 @@ class StrobeSender:
                 yield from self._microphase(RM, runtime.rm_nodes(), 0)
 
             elapsed = env.now - start
-            if elapsed < cfg.timeslice:
+            overrun = elapsed >= cfg.timeslice
+            if not overrun:
                 yield env.timeout(cfg.timeslice - elapsed)
             else:
                 runtime.stats["slice_overruns"] += 1
+            if obs is not None:
+                obs.slice_end(runtime.slice_no, start, env.now, active, overrun)
             if cfg.auto_stop and runtime.idle():
                 return
 
@@ -141,6 +155,9 @@ class StrobeSender:
         env = self.env
         t0 = env.now
         mgmt = runtime.cluster.management_node.id
+        obs = runtime.obs
+        if obs is not None:
+            obs.phase_begin(phase, runtime.slice_no, t0)
 
         # Microstrobe: Xfer-And-Signal to every compute node's SR.
         yield from runtime.cluster.fabric.control_multicast(
@@ -166,6 +183,8 @@ class StrobeSender:
         if pad > 0:
             yield env.timeout(pad)
 
+        if obs is not None:
+            obs.phase_end(phase, runtime.slice_no, t0, env.now, len(nodes))
         trace = runtime.cluster.trace
         if trace.enabled_for("bcs.microphase"):
             trace.emit(

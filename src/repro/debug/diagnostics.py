@@ -81,6 +81,29 @@ def diagnose(runtime: "BcsRuntime") -> str:
     if backlog:
         lines.append(f"scheduler backlog: {backlog} bytes still in flight")
 
+    lines.extend(_telemetry_lines(runtime))
+
     if not lines:
         return "no pending communication state (pure-compute stall?)"
     return "\n".join(lines)
+
+
+def _telemetry_lines(runtime: "BcsRuntime") -> List[str]:
+    """Slice-telemetry footer for the stall report.
+
+    When the run is instrumented (``runtime.obs``), the metrics registry
+    already aggregates slice counts, queue depths, and microphase
+    durations — render the ``bcs.*`` series instead of re-counting
+    queues here.
+    """
+    obs = getattr(runtime, "obs", None)
+    if obs is None:
+        return []
+    rendered = [
+        line
+        for line in obs.registry.render().splitlines()
+        if line.startswith("bcs.")
+    ]
+    if not rendered:
+        return []
+    return ["", "telemetry at stall time:"] + [f"  {line}" for line in rendered]

@@ -8,6 +8,11 @@ comparison*: record the communication log of a run, re-run, and diff.
 Any divergence pinpoints the first nondeterministic (or changed) event
 — the debugging workflow a SIMD-style global OS makes possible.
 
+Event aggregation goes through a :class:`repro.obs.MetricsRegistry`
+(one counter per event kind, a bytes counter per kind) instead of
+private tallies, so the recorder's statistics render with the same
+machinery as the runtime's slice telemetry.
+
 Usage::
 
     recorder = FlightRecorder()
@@ -23,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..obs import MetricsRegistry
 from ..sim import Trace
 
 #: Trace categories the recorder needs captured.
@@ -45,52 +51,67 @@ class Divergence:
         )
 
 
+def _normalize_unicast(rec) -> Tuple[tuple, int]:
+    f = rec.fields
+    entry = (rec.time, "unicast", f["src"], f["dst"], f["size"], f.get("label", ""))
+    return entry, f["size"]
+
+
+def _normalize_multicast(rec) -> Tuple[tuple, int]:
+    f = rec.fields
+    entry = (rec.time, "multicast", f["src"], f["dests"], f["size"])
+    return entry, f["size"] * len(f["dests"])
+
+
+def _normalize_phase(rec) -> Tuple[tuple, int]:
+    f = rec.fields
+    entry = (rec.time, "phase", f["slice"], f["phase"], f["duration"])
+    return entry, 0
+
+
+#: category -> (kind label, normalizer) — the single place the log
+#: format is defined (log(), counters, and diffing all share it).
+_NORMALIZERS = {
+    "fabric.unicast": ("unicast", _normalize_unicast),
+    "fabric.multicast": ("multicast", _normalize_multicast),
+    "bcs.microphase": ("phase", _normalize_phase),
+}
+
+
 class FlightRecorder:
     """Captures a run's ordered communication log."""
 
     def __init__(self):
         self.trace = Trace(categories=list(CATEGORIES))
+        #: Aggregated event statistics (``replay.events``/``replay.bytes``
+        #: counters, labeled by event kind), rebuilt by :meth:`log`.
+        self.registry = MetricsRegistry()
 
     def log(self) -> List[tuple]:
         """The normalized event log, in simulation order.
 
         Each entry is a plain tuple (hashable, diffable):
-        ``(time, kind, details...)``.
+        ``(time, kind, details...)``.  As a side effect the recorder's
+        :attr:`registry` is rebuilt with per-kind event/byte counters.
         """
+        self.registry.reset()
         out: List[tuple] = []
         for rec in self.trace.records:
-            if rec.category == "fabric.unicast":
-                out.append(
-                    (
-                        rec.time,
-                        "unicast",
-                        rec.fields["src"],
-                        rec.fields["dst"],
-                        rec.fields["size"],
-                        rec.fields.get("label", ""),
-                    )
-                )
-            elif rec.category == "fabric.multicast":
-                out.append(
-                    (
-                        rec.time,
-                        "multicast",
-                        rec.fields["src"],
-                        rec.fields["dests"],
-                        rec.fields["size"],
-                    )
-                )
-            elif rec.category == "bcs.microphase":
-                out.append(
-                    (
-                        rec.time,
-                        "phase",
-                        rec.fields["slice"],
-                        rec.fields["phase"],
-                        rec.fields["duration"],
-                    )
-                )
+            spec = _NORMALIZERS.get(rec.category)
+            if spec is None:
+                continue
+            kind, normalize = spec
+            entry, nbytes = normalize(rec)
+            out.append(entry)
+            self.registry.counter("replay.events", kind=kind).inc()
+            if nbytes:
+                self.registry.counter("replay.bytes", kind=kind).inc(nbytes)
         return out
+
+    def summary(self) -> str:
+        """Deterministic text summary of the recorded event mix."""
+        self.log()
+        return self.registry.render()
 
 
 def diff_logs(a: List[tuple], b: List[tuple]) -> List[Divergence]:

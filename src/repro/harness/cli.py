@@ -10,6 +10,17 @@
 
 Each command prints the same rows the corresponding paper table/figure
 reports (see EXPERIMENTS.md for the expected values).
+
+Observability subcommands (see docs/OBSERVABILITY.md)::
+
+    python -m repro.harness.cli trace fig8 --out trace.json
+    python -m repro.harness.cli metrics fig8 --ranks 8
+
+``trace`` runs one instrumented experiment and writes a Perfetto
+trace-event JSON (open in ui.perfetto.dev); ``metrics`` prints the
+slice-level metrics report and the per-rank MPI profile.  Both are
+deterministic: two runs with the same seed produce byte-identical
+output.
 """
 
 from __future__ import annotations
@@ -114,6 +125,92 @@ COMMANDS = {
 }
 
 
+# --- observability subcommands -------------------------------------------------
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def build_obs_parser(command: str) -> argparse.ArgumentParser:
+    """Parser for the ``trace`` / ``metrics`` observability subcommands."""
+    from .obs_runs import INSTRUMENTED
+
+    parser = argparse.ArgumentParser(
+        prog=f"repro {command}",
+        description=(
+            "Run one instrumented experiment and "
+            + (
+                "export a Perfetto trace (ui.perfetto.dev)."
+                if command == "trace"
+                else "print slice metrics and the per-rank MPI profile."
+            )
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(INSTRUMENTED),
+        help="instrumented experiment to run",
+    )
+    parser.add_argument(
+        "--ranks", type=_positive_int, default=8, help="process count (default 8)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="cluster RNG seed")
+    if command == "trace":
+        parser.add_argument(
+            "--out",
+            metavar="PATH",
+            default="trace.json",
+            help="output trace file (default trace.json)",
+        )
+    return parser
+
+
+def cmd_trace(argv: List[str]) -> int:
+    """``repro trace <experiment> --out trace.json``"""
+    args = build_obs_parser("trace").parse_args(argv)
+    from .obs_runs import run_instrumented
+
+    run = run_instrumented(args.experiment, n_ranks=args.ranks, seed=args.seed)
+    try:
+        run.obs.perfetto.save(args.out)
+    except OSError as exc:
+        print(f"repro trace: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{args.experiment}: {run.result.runtime_ns} ns simulated, "
+        f"{run.obs.perfetto.n_events} trace events -> {args.out}"
+    )
+    print("open in https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
+def cmd_metrics(argv: List[str]) -> int:
+    """``repro metrics <experiment>``"""
+    args = build_obs_parser("metrics").parse_args(argv)
+    from .obs_runs import run_instrumented
+    from .report import metrics_report
+
+    run = run_instrumented(args.experiment, n_ranks=args.ranks, seed=args.seed)
+    print(
+        f"== {args.experiment}: {run.result.n_ranks} ranks, "
+        f"{run.result.runtime_ns} ns simulated ==\n"
+    )
+    print(metrics_report(run.obs))
+    if run.obs.profiler is not None:
+        print("\n== MPI profile ==")
+        print(run.obs.profiler.report())
+    return 0
+
+
+#: Subcommands with their own argument structure (dispatched before the
+#: experiment parser so ``repro table1 fig8a`` keeps working unchanged).
+OBS_COMMANDS = {"trace": cmd_trace, "metrics": cmd_metrics}
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -157,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:  # pragma: no cover - interactive entry
+        argv = sys.argv[1:]
+    if argv and argv[0] in OBS_COMMANDS:
+        return OBS_COMMANDS[argv[0]](list(argv[1:]))
     args = build_parser().parse_args(argv)
     wanted = list(args.experiments)
     if "all" in wanted:

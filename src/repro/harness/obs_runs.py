@@ -1,0 +1,79 @@
+"""Instrumented experiment runs for ``repro trace`` / ``repro metrics``.
+
+Each entry in :data:`INSTRUMENTED` is one canonical workload that can be
+run with full observability attached: slice telemetry into the metrics
+registry, a Perfetto trace, and the per-rank MPI profile.  These are the
+paper's synthetic/application workloads at smoke-test sizes — big enough
+to exercise every microphase, small enough to trace interactively.
+
+Usage::
+
+    run = run_instrumented("fig8", n_ranks=8)
+    run.obs.perfetto.save("trace.json")
+    print(run.obs.registry.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..apps import (
+    barrier_benchmark,
+    nearest_neighbor_benchmark,
+    sage,
+    sweep3d_blocking,
+)
+from ..bcs import BcsConfig
+from ..obs import Observability
+from ..units import kib, ms
+from .runner import RunResult, run_workload
+
+#: name -> (app, default params).  Synthetic runs skip the 1.2 s init
+#: phase so the trace starts at the first interesting slice.
+INSTRUMENTED: Dict[str, Tuple[object, dict]] = {
+    "fig8": (barrier_benchmark, dict(granularity=ms(2), iterations=5)),
+    "fig8-p2p": (
+        nearest_neighbor_benchmark,
+        dict(granularity=ms(2), iterations=5, message_bytes=kib(64)),
+    ),
+    "sage": (sage, dict(steps=3, step_compute=ms(5))),
+    "sweep3d": (sweep3d_blocking, dict(octants=2, kblocks=2)),
+}
+
+
+@dataclass
+class InstrumentedRun:
+    """One instrumented run: the workload result plus its telemetry."""
+
+    result: RunResult
+    obs: Observability
+
+
+def run_instrumented(
+    name: str,
+    n_ranks: int = 8,
+    seed: int = 0,
+    params: Optional[dict] = None,
+    obs: Optional[Observability] = None,
+) -> InstrumentedRun:
+    """Run one :data:`INSTRUMENTED` experiment with telemetry attached."""
+    try:
+        app, default_params = INSTRUMENTED[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown instrumented experiment {name!r}; "
+            f"choose from: {', '.join(sorted(INSTRUMENTED))}"
+        ) from None
+    if obs is None:
+        obs = Observability()
+    result = run_workload(
+        app,
+        n_ranks,
+        "bcs",
+        params=params if params is not None else dict(default_params),
+        bcs_config=BcsConfig(init_cost=0),
+        seed=seed,
+        obs=obs,
+    )
+    return InstrumentedRun(result=result, obs=obs)

@@ -34,6 +34,73 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]
     return text
 
 
+def metrics_report(obs) -> str:
+    """Render an :class:`repro.obs.Observability` hub as report sections.
+
+    Three tables: per-slice utilization and microphase durations
+    (p50/p95/p99 from the histograms), counters/gauges, and per-node
+    NIC-thread occupancy.  Output is deterministic — identical runs
+    render byte-identical reports.
+    """
+    registry = obs.registry
+    sections: List[str] = []
+
+    hist_rows = []
+    for name in registry.names():
+        if registry.kind(name) != "histogram":
+            continue
+        for labels, hist in sorted(registry.series(name).items()):
+            s = hist.summary()
+            if s["count"] == 0:
+                continue
+            label = ",".join(f"{k}={v}" for k, v in labels)
+            hist_rows.append(
+                [
+                    name + (f"{{{label}}}" if label else ""),
+                    s["count"],
+                    s["mean"],
+                    s["p50"],
+                    s["p95"],
+                    s["p99"],
+                    s["max"],
+                ]
+            )
+    if hist_rows:
+        sections.append(
+            "== distributions ==\n"
+            + format_table(
+                ["metric", "count", "mean", "p50", "p95", "p99", "max"], hist_rows
+            )
+        )
+
+    scalar_rows = []
+    for name in registry.names():
+        kind = registry.kind(name)
+        if kind == "histogram":
+            continue
+        for labels, inst in sorted(registry.series(name).items()):
+            label = ",".join(f"{k}={v}" for k, v in labels)
+            scalar_rows.append(
+                [name + (f"{{{label}}}" if label else ""), kind, inst.value]
+            )
+    if scalar_rows:
+        sections.append(
+            "== counters & gauges ==\n"
+            + format_table(["metric", "kind", "value"], scalar_rows)
+        )
+
+    occupancy = obs.nic_occupancy()
+    if occupancy:
+        sections.append(
+            "== NIC thread occupancy ==\n"
+            + format_table(
+                ["node", "busy_fraction"],
+                [[node, f"{frac:.4f}"] for node, frac in sorted(occupancy.items())],
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def slowdown_series(points: Sequence[tuple]) -> List[dict]:
     """Normalize (x, comparison) pairs into report rows."""
     rows = []

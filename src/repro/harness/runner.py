@@ -75,8 +75,14 @@ def run_workload(
     seed: int = 0,
     max_time: int = DEFAULT_MAX_TIME,
     name: Optional[str] = None,
+    obs: Optional[Any] = None,
 ) -> RunResult:
-    """Run ``app`` on a fresh cluster under the chosen backend."""
+    """Run ``app`` on a fresh cluster under the chosen backend.
+
+    ``obs`` is an optional :class:`repro.obs.Observability` hub; it is
+    attached to the runtime before launch (BCS backend only — the
+    baseline has no slice machine to instrument).
+    """
     if cluster_spec is None:
         cluster_spec = ClusterSpec(n_nodes=nodes_for(n_ranks), seed=seed)
     cluster = Cluster(cluster_spec)
@@ -85,7 +91,11 @@ def run_workload(
 
     if backend == "bcs":
         runtime: Any = BcsRuntime(cluster, bcs_config or BcsConfig())
+        if obs is not None:
+            runtime.attach_observability(obs)
     elif backend == "baseline":
+        if obs is not None:
+            raise ValueError("observability is only supported on the 'bcs' backend")
         runtime = BaselineRuntime(cluster, baseline_config or BaselineConfig())
     else:
         raise ValueError(f"unknown backend {backend!r}; use 'bcs' or 'baseline'")

@@ -94,6 +94,9 @@ class Nic:
         )
         #: Default per-operation cost of NIC thread work, ns.
         self.thread_op_cost = thread_op_cost
+        #: Telemetry hub (set by ``BcsRuntime.attach_observability``);
+        #: when present, :meth:`compute` reports thread occupancy spans.
+        self.obs = None
         self._events: Dict[str, NicEvent] = {}
         self._fifos: Dict[str, Store] = {}
 
@@ -127,6 +130,11 @@ class Nic:
         if duration < 0:
             duration = self.thread_op_cost
         if duration == 0:
+            return
+        if self.obs is not None:
+            t0 = self.env.now
+            yield from self.thread_processor.held(duration)
+            self.obs.nic_busy(self.node_id, t0, self.env.now, duration)
             return
         yield from self.thread_processor.held(duration)
 

@@ -1,0 +1,42 @@
+"""Observability: metrics, trace export, and MPI profiling.
+
+The telemetry layer for the BCS-MPI simulation (see
+docs/OBSERVABILITY.md):
+
+- :class:`MetricsRegistry` — labeled counters, gauges, and histograms
+  with exact p50/p95/p99 summaries;
+- :class:`PerfettoTrace` — Chrome/Perfetto trace-event JSON export,
+  one track group per node plus NIC-thread tracks;
+- :class:`MpiProfiler` — per-rank, per-call-site virtual-time
+  attribution with an mpiP-style report;
+- :class:`Observability` — the hub the runtime reports into
+  (``runtime.attach_observability(Observability())``).
+
+Everything here is passive: hooks never touch the event queue, so an
+instrumented run takes exactly the same virtual time as a bare one.
+"""
+
+from .perfetto import PerfettoTrace
+from .profiler import MpiProfiler
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricsRegistry,
+    percentile,
+)
+from .telemetry import Observability, PHASE_THREADS
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricsRegistry",
+    "MpiProfiler",
+    "Observability",
+    "PHASE_THREADS",
+    "PerfettoTrace",
+    "percentile",
+]

@@ -3,10 +3,16 @@
 A :class:`Trace` collects structured (time, category, fields) records and
 named counters.  All hot paths guard emission behind ``enabled_for`` so a
 disabled trace costs one dict lookup.
+
+Histograms support exact percentile queries (:meth:`Trace.percentile`,
+:meth:`Trace.summary`); direct access to the ``histograms`` dict is
+deprecated — use :meth:`Trace.samples` or the summary helpers, or reach
+for :class:`repro.obs.MetricsRegistry` when you need labeled series.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
@@ -29,7 +35,7 @@ class Trace:
         self.categories = set(categories or ())
         self.records: List[TraceRecord] = []
         self.counters: Counter = Counter()
-        self.histograms: Dict[str, List[float]] = defaultdict(list)
+        self._histograms: Dict[str, List[float]] = defaultdict(list)
 
     def enabled_for(self, category: str) -> bool:
         """Whether records of ``category`` are captured."""
@@ -46,7 +52,61 @@ class Trace:
 
     def observe(self, name: str, value: float) -> None:
         """Append a sample to a named histogram."""
-        self.histograms[name].append(value)
+        self._histograms[name].append(value)
+
+    # -- histogram queries ---------------------------------------------------------
+
+    def samples(self, name: str) -> List[float]:
+        """The raw samples of histogram ``name`` (empty if never observed)."""
+        return list(self._histograms.get(name, ()))
+
+    def percentile(self, name: str, p: float) -> float:
+        """Nearest-rank percentile of histogram ``name``.
+
+        Raises ``ValueError`` for an unknown/empty histogram or a ``p``
+        outside [0, 100].
+        """
+        from ..obs.registry import percentile
+
+        data = self._histograms.get(name)
+        if not data:
+            raise ValueError(f"histogram {name!r} has no samples")
+        return percentile(data, p)
+
+    def summary(self, name: str) -> dict:
+        """count/mean/min/max/p50/p95/p99 digest of histogram ``name``.
+
+        Returns ``{"count": 0}`` for an unknown or empty histogram.
+        """
+        data = self._histograms.get(name)
+        if not data:
+            return {"count": 0}
+        return {
+            "count": len(data),
+            "sum": sum(data),
+            "mean": sum(data) / len(data),
+            "min": min(data),
+            "max": max(data),
+            "p50": self.percentile(name, 50),
+            "p95": self.percentile(name, 95),
+            "p99": self.percentile(name, 99),
+        }
+
+    @property
+    def histograms(self) -> Dict[str, List[float]]:
+        """Deprecated: the raw histogram dict.
+
+        Use :meth:`samples`, :meth:`percentile`, or :meth:`summary`
+        instead (or a :class:`repro.obs.MetricsRegistry` for labeled
+        metrics).  Kept for one release so external callers migrate.
+        """
+        warnings.warn(
+            "Trace.histograms is deprecated; use Trace.samples()/"
+            "percentile()/summary() or repro.obs.MetricsRegistry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._histograms
 
     def by_category(self, category: str) -> List[TraceRecord]:
         """All captured records of a category, in time order."""
@@ -56,7 +116,7 @@ class Trace:
         """Drop all records, counters, and histograms."""
         self.records.clear()
         self.counters.clear()
-        self.histograms.clear()
+        self._histograms.clear()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,81 @@
+"""MPI profiler attribution and the trace/metrics CLI subcommands."""
+
+import json
+
+from repro.harness.cli import main
+from repro.obs import MpiProfiler
+
+
+# --- attribution model -------------------------------------------------------
+
+
+def test_wait_time_attributed_between_app_and_mpi():
+    prof = MpiProfiler()
+    # Rank computes [0, 40), waits in MPI [40, 100), computes [100, 110),
+    # waits [110, 150).
+    prof.record_wait(7, 0, "wait", 40, 100)
+    prof.record_wait(7, 0, "wait", 110, 150)
+    rank = prof.ranks[(0, 0)]
+    assert rank.app_ns == 40 + 10
+    assert rank.mpi_ns == 60 + 40
+
+
+def test_job_ids_normalized_to_run_local_indices():
+    # Two profilers seeing different process-global job ids produce the
+    # same report: ranks are keyed by order of first appearance.
+    a, b = MpiProfiler(), MpiProfiler()
+    for prof, job_id in ((a, 0), (b, 5)):
+        prof.record_wait(job_id, 0, "wait", 10, 20)
+    assert a.report() == b.report()
+    assert (0, 0) in a.ranks and (0, 0) in b.ranks
+
+
+def test_post_counts_bytes_per_site():
+    prof = MpiProfiler()
+    for rank in (0, 1):  # same source line -> same call site
+        prof.record_post(0, rank, "send", 1000)
+    (op, _site), (count, wait_ns, nbytes) = next(iter(prof.sites.items()))
+    assert op == "send"
+    assert (count, wait_ns, nbytes) == (2, 0, 2000)
+
+
+def test_report_shape():
+    prof = MpiProfiler()
+    prof.record_post(0, 0, "send", 4096)
+    prof.record_wait(0, 0, "wait(send)", 1_000_000, 3_000_000)
+    text = prof.report()
+    assert "@--- MPI Time" in text
+    assert "@--- Callsites" in text
+    assert "wait(send)" in text
+    # Aggregate row: 1 ms app (0 -> 1 ms), 2 ms MPI -> 66.67%.
+    assert " 66.67" in text
+
+
+# --- CLI subcommands ---------------------------------------------------------
+
+
+def test_cli_trace_writes_perfetto_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "fig8", "--ranks", "4", "--out", str(out)]) == 0
+    doc = json.loads(out.read_bytes())
+    assert doc["displayTimeUnit"] == "ns"
+    assert any(e.get("name") == "DEM" for e in doc["traceEvents"])
+    assert "trace events ->" in capsys.readouterr().out
+
+
+def test_cli_metrics_prints_distributions_and_profile(capsys):
+    assert main(["metrics", "fig8", "--ranks", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "== distributions ==" in out
+    assert "bcs.microphase.duration_ns" in out
+    assert "bcs.slice.utilization" in out
+    assert "@--- MPI Time" in out
+
+
+def test_cli_trace_rejects_unknown_experiment(capsys):
+    try:
+        main(["trace", "fig99"])
+    except SystemExit as exc:
+        assert exc.code == 2
+    else:  # pragma: no cover - argparse always raises
+        raise AssertionError("expected argparse to reject fig99")

@@ -1,0 +1,134 @@
+"""Metrics registry semantics: labels, percentiles, cardinality, reset."""
+
+import pytest
+
+from repro.obs import LabelCardinalityError, MetricsRegistry, percentile
+
+
+# --- percentile function ------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    data = list(range(1, 101))
+    assert percentile(data, 50) == 50
+    assert percentile(data, 95) == 95
+    assert percentile(data, 99) == 99
+    assert percentile(data, 100) == 100
+    assert percentile(data, 0) == 1
+
+
+def test_percentile_small_sets():
+    assert percentile([7.0], 50) == 7.0
+    assert percentile([1.0, 2.0], 50) == 1.0
+    assert percentile([1.0, 2.0], 51) == 2.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+# --- instruments -------------------------------------------------------------------
+
+
+def test_counter_identity_and_increment():
+    reg = MetricsRegistry()
+    c1 = reg.counter("msgs", node=0)
+    c2 = reg.counter("msgs", node=0)
+    assert c1 is c2  # same (name, labels) -> same instrument
+    c1.inc()
+    c1.inc(4)
+    assert c2.value == 5
+    assert reg.counter("msgs", node=1).value == 0  # distinct label set
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("x").inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("backlog")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value == 12
+
+
+def test_histogram_summary_and_percentiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", phase="DEM")
+    for v in range(1, 101):
+        h.observe(float(v))
+    assert h.count == 100
+    assert h.percentile(50) == 50.0
+    s = h.summary()
+    assert s["p95"] == 95.0 and s["p99"] == 99.0
+    assert s["min"] == 1.0 and s["max"] == 100.0
+    assert s["mean"] == pytest.approx(50.5)
+    assert reg.histogram("empty").summary() == {"count": 0}
+
+
+def test_kind_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.histogram("x")
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    assert reg.counter("m", a=1, b=2) is reg.counter("m", b=2, a=1)
+
+
+# --- cardinality -----------------------------------------------------------------
+
+
+def test_label_cardinality_bounded():
+    reg = MetricsRegistry(max_series_per_metric=3)
+    for i in range(3):
+        reg.counter("m", i=i)
+    with pytest.raises(LabelCardinalityError):
+        reg.counter("m", i=3)
+    # Existing series stay reachable after the refusal.
+    assert reg.counter("m", i=0) is not None
+
+
+# --- snapshot / render / reset ------------------------------------------------------
+
+
+def test_snapshot_is_sorted_and_complete():
+    reg = MetricsRegistry()
+    reg.counter("z.count").inc(2)
+    reg.gauge("a.gauge").set(7)
+    reg.histogram("m.hist", phase="DEM").observe(1.0)
+    snap = reg.snapshot()
+    assert list(snap) == ["a.gauge", "m.hist", "z.count"]
+    assert snap["z.count"]["series"]["{}"] == 2
+    assert snap["a.gauge"]["kind"] == "gauge"
+    assert snap["m.hist"]["series"]["{phase=DEM}"]["count"] == 1
+
+
+def test_render_deterministic():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("b", x=2).inc(1)
+        reg.counter("b", x=1).inc(2)
+        reg.histogram("a").observe(3.0)
+        return reg.render()
+
+    assert build() == build()
+    assert build().splitlines()[0].startswith("a ")
+
+
+def test_reset_drops_everything():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.histogram("h").observe(1.0)
+    reg.reset()
+    assert reg.names() == []
+    assert reg.counter("c").value == 0  # fresh instrument after reset

@@ -57,7 +57,37 @@ def test_trace_counters_and_histograms():
     trace.observe("latency", 2.5)
     trace.observe("latency", 3.5)
     assert trace.counters["msgs"] == 5
-    assert trace.histograms["latency"] == [2.5, 3.5]
+    assert trace.samples("latency") == [2.5, 3.5]
+
+
+def test_trace_histogram_summary_and_percentiles():
+    trace = Trace()
+    for v in range(1, 101):
+        trace.observe("lat", float(v))
+    assert trace.percentile("lat", 50) == 50.0
+    assert trace.percentile("lat", 95) == 95.0
+    assert trace.percentile("lat", 99) == 99.0
+    s = trace.summary("lat")
+    assert s["count"] == 100
+    assert s["min"] == 1.0 and s["max"] == 100.0
+    assert s["p50"] == 50.0
+    assert trace.summary("unknown") == {"count": 0}
+    import pytest
+
+    with pytest.raises(ValueError):
+        trace.percentile("unknown", 50)
+
+
+def test_trace_histograms_dict_access_is_deprecated():
+    import warnings
+
+    trace = Trace()
+    trace.observe("lat", 1.0)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        hist = trace.histograms
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert hist["lat"] == [1.0]  # still functional during the deprecation window
     trace.clear()
     assert not trace.counters and not trace.records
 

@@ -50,3 +50,30 @@ def test_golden_sage_runs_land_on_slice_boundaries():
         sage, 8, "bcs", params=dict(steps=3, step_compute=ms(5)), bcs_config=BC
     )
     assert result.runtime_ns % BC.timeslice == 0
+
+
+@pytest.mark.parametrize(
+    "app,backend,params,expected",
+    [g for g in GOLDEN if g[1] == "bcs"],
+    ids=[f"{a.__name__}-obs" for a, b, _, _ in GOLDEN if b == "bcs"],
+)
+def test_golden_runtime_unchanged_with_observability(app, backend, params, expected):
+    """Instrumentation must not perturb simulated time.
+
+    The observability layer is passive — every hook reads ``env.now``
+    but never enters the event queue — so golden virtual-time results
+    are identical with telemetry disabled *and* enabled.
+    """
+    from repro.obs import Observability
+
+    obs = Observability()
+    result = run_workload(
+        app, 8, backend, params=params, bcs_config=BC, obs=obs
+    )
+    assert result.runtime_ns == expected, (
+        f"{app.__name__} with observability attached: instrumentation "
+        f"perturbed virtual time ({result.runtime_ns} ns vs {expected} ns)"
+    )
+    # The instrumentation must actually have run, not been skipped.
+    assert obs.registry.counter("bcs.slice.count", kind="active").value > 0
+    assert obs.perfetto.n_events > 0
