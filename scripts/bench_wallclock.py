@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark gate for the simulator hot path.
+
+Runs a small suite of macro replays (idle-heavy, where the Strobe
+Sender's idle fast-forward dominates) and dense micro benchmarks (every
+slice active, where the engine/matching/fabric fast paths must at least
+not regress), each twice: once with the optimized defaults and once with
+the optimizations disabled (``idle_fast_forward=False, matcher="linear"``).
+
+Every pair asserts that the *virtual* runtime is byte-identical — the
+optimizations must never change simulated time — and reports the
+wall-clock speedup.
+
+Results are normalized by a spin-loop calibration so the committed
+baseline (``BENCH_simperf.json``) transfers across machines: the gate
+compares ``wall / calibration`` ratios, not raw seconds.
+
+Usage:
+    scripts/bench_wallclock.py             # full suite, print report
+    scripts/bench_wallclock.py --quick     # smaller workloads (CI)
+    scripts/bench_wallclock.py --quick --update   # rewrite the baseline
+    scripts/bench_wallclock.py --quick --check    # gate against baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.apps.sage import sage  # noqa: E402
+from repro.apps.sweep3d import sweep3d_blocking  # noqa: E402
+from repro.apps.synthetic import barrier_benchmark  # noqa: E402
+from repro.bcs import BcsConfig  # noqa: E402
+from repro.harness.runner import run_workload  # noqa: E402
+from repro.units import ms, seconds  # noqa: E402
+
+BASELINE_PATH = REPO / "BENCH_simperf.json"
+SCHEMA = 1
+
+#: Wall-clock regression tolerance against the committed baseline.
+REGRESSION_TOLERANCE = 0.20
+#: Required fast-forward speedup on the idle-heavy macro replay.
+MACRO_MIN_SPEEDUP = 2.0
+#: Dense micro benchmarks must not get slower than this factor.
+MICRO_MIN_SPEEDUP = 0.90
+
+
+def benchmarks(quick: bool):
+    """The benchmark matrix: (name, kind, app, n_ranks, params, config kwargs).
+
+    ``macro`` workloads are compute-dominated replays in the spirit of
+    the paper's Fig. 10 (SAGE) and Fig. 11 (SWEEP3D) runs: most slices
+    are idle, so the fast-forward should collapse them.  ``micro``
+    workloads keep every slice active so the remaining optimizations
+    (hash matching, latch barriers, fabric fast paths) are measured
+    without any skipping.
+    """
+    s = 3 if quick else 5  # repetition count per measurement (best-of)
+    return s, [
+        (
+            "sage_fig10",
+            "macro",
+            sage,
+            8,
+            dict(steps=8 if quick else 16, step_compute=seconds(1)),
+            {},
+        ),
+        (
+            "sweep3d_fig11",
+            "macro",
+            sweep3d_blocking,
+            8,
+            dict(
+                octants=8,
+                kblocks=2 if quick else 4,
+                step_compute=ms(100),
+            ),
+            {},
+        ),
+        (
+            "barrier_micro",
+            "micro",
+            barrier_benchmark,
+            8,
+            dict(iterations=300 if quick else 800, granularity=ms(1)),
+            dict(init_cost=0),
+        ),
+    ]
+
+
+class Calibration:
+    """Machine speed probe: a fixed pure-Python spin loop.
+
+    Sampled repeatedly, interleaved with the benchmarks, keeping the
+    minimum — the best estimate of unloaded interpreter speed even when
+    background load comes in bursts.
+    """
+
+    def __init__(self):
+        self.best = math.inf
+        self.sample()
+
+    def sample(self) -> None:
+        for _ in range(3):
+            t0 = time.perf_counter()
+            acc = 0
+            for i in range(2_000_000):
+                acc += i & 1023
+            self.best = min(self.best, time.perf_counter() - t0)
+
+
+def run_case(app, n_ranks, params, cfg_kwargs, reps: int):
+    """Best-of-``reps`` wall-clock for one workload, both configs.
+
+    The optimized and reference measurements are interleaved so bursts
+    of background load hit both sides instead of skewing one of them.
+    Returns (best_fast, best_slow, fast_result, slow_result).
+    """
+    fast_cfg = BcsConfig(**cfg_kwargs)
+    slow_cfg = BcsConfig(idle_fast_forward=False, matcher="linear", **cfg_kwargs)
+    best_fast = best_slow = math.inf
+    fast = slow = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fast = run_workload(app, n_ranks, "bcs", params=params, bcs_config=fast_cfg)
+        best_fast = min(best_fast, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        slow = run_workload(app, n_ranks, "bcs", params=params, bcs_config=slow_cfg)
+        best_slow = min(best_slow, time.perf_counter() - t0)
+    return best_fast, best_slow, fast, slow
+
+
+def run_suite(quick: bool) -> dict:
+    calibration = Calibration()
+    reps, matrix = benchmarks(quick)
+    raw = {}
+    for name, kind, app, n_ranks, params, cfg_kwargs in matrix:
+        wall_fast, wall_slow, fast, slow = run_case(
+            app, n_ranks, params, cfg_kwargs, reps
+        )
+        calibration.sample()
+        if fast.runtime_ns != slow.runtime_ns:
+            raise SystemExit(
+                f"{name}: virtual time diverged — optimized {fast.runtime_ns} ns "
+                f"vs reference {slow.runtime_ns} ns"
+            )
+        raw[name] = (kind, wall_fast, wall_slow, fast)
+        print(
+            f"{name:16s} [{kind}]  optimized {wall_fast:7.3f}s  "
+            f"reference {wall_slow:7.3f}s  speedup {wall_slow / wall_fast:5.2f}x  "
+            f"skipped {fast.stats.get('idle_slices_skipped', 0)}"
+        )
+    out = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "calibration_s": round(calibration.best, 6),
+        "python": platform.python_version(),
+        "benchmarks": {},
+    }
+    for name, (kind, wall_fast, wall_slow, fast) in raw.items():
+        out["benchmarks"][name] = {
+            "kind": kind,
+            "wall_s": round(wall_fast, 4),
+            "wall_reference_s": round(wall_slow, 4),
+            "speedup": round(wall_slow / wall_fast, 3),
+            "normalized": round(wall_fast / calibration.best, 3),
+            "virtual_ns": fast.runtime_ns,
+            "idle_slices_skipped": fast.stats.get("idle_slices_skipped", 0),
+        }
+    return out
+
+
+def check(report: dict) -> int:
+    """Gate: speedup floors + normalized regression vs the baseline."""
+    failures = []
+    macro_speedups = {}
+    for name, rec in report["benchmarks"].items():
+        if rec["kind"] == "macro":
+            macro_speedups[name] = rec["speedup"]
+        elif rec["speedup"] < MICRO_MIN_SPEEDUP:
+            failures.append(
+                f"{name}: dense micro slowed down ({rec['speedup']:.2f}x < "
+                f"{MICRO_MIN_SPEEDUP:.2f}x)"
+            )
+    if macro_speedups and max(macro_speedups.values()) < MACRO_MIN_SPEEDUP:
+        failures.append(
+            f"no macro replay reached {MACRO_MIN_SPEEDUP:.1f}x fast-forward "
+            f"speedup: {macro_speedups}"
+        )
+
+    if not BASELINE_PATH.exists():
+        failures.append(f"missing baseline {BASELINE_PATH}; run with --update")
+    else:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        if baseline.get("quick") != report["quick"]:
+            failures.append(
+                "baseline was recorded in a different mode "
+                f"(baseline quick={baseline.get('quick')}, "
+                f"run quick={report['quick']})"
+            )
+        else:
+            for name, rec in report["benchmarks"].items():
+                ref = baseline.get("benchmarks", {}).get(name)
+                if ref is None:
+                    failures.append(f"{name}: not present in baseline")
+                    continue
+                limit = ref["normalized"] * (1.0 + REGRESSION_TOLERANCE)
+                if rec["normalized"] > limit:
+                    failures.append(
+                        f"{name}: normalized wall-clock {rec['normalized']:.3f} "
+                        f"exceeds baseline {ref['normalized']:.3f} "
+                        f"+{REGRESSION_TOLERANCE:.0%}"
+                    )
+                if rec["virtual_ns"] != ref["virtual_ns"]:
+                    failures.append(
+                        f"{name}: virtual runtime changed "
+                        f"({rec['virtual_ns']} vs baseline {ref['virtual_ns']})"
+                    )
+
+    if failures:
+        print("\nBENCH GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small workloads (CI)")
+    parser.add_argument(
+        "--update", action="store_true", help=f"rewrite {BASELINE_PATH.name}"
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="fail on regression vs the baseline"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="also write the report here"
+    )
+    args = parser.parse_args()
+
+    report = run_suite(args.quick)
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if args.check:
+        return check(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

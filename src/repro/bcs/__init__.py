@@ -14,7 +14,7 @@ from .descriptors import (
     RecvDescriptor,
     SendDescriptor,
 )
-from .matching import Matcher, TruncationError
+from .matching import HashMatcher, LinearMatcher, Matcher, TruncationError, make_matcher
 from .runtime import BcsRuntime, CommInfo, RankHandle
 from .scheduler import SliceScheduler
 from .strobe import MICROPHASES, StrobeReceiver, StrobeSender
@@ -27,9 +27,12 @@ __all__ = [
     "BcsRuntime",
     "CollectiveDescriptor",
     "CommInfo",
+    "HashMatcher",
+    "LinearMatcher",
     "MICROPHASES",
     "Match",
     "Matcher",
+    "make_matcher",
     "RankHandle",
     "RecvDescriptor",
     "SendDescriptor",

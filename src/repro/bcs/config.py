@@ -59,10 +59,21 @@ class BcsConfig:
     buffered_sends: bool = True
     #: Stop the strobe loop automatically when no jobs remain.
     auto_stop: bool = True
+    #: Skip idle slices in one jump when the cluster has no pending work
+    #: and no event can create any before the next-event time (pure
+    #: simulator wall-clock optimization; virtual timings are identical).
+    idle_fast_forward: bool = True
+    #: MPI matching implementation: "hash" (bucketed, O(1) amortized) or
+    #: "linear" (reference list scan).  Identical match sequences.
+    matcher: str = "hash"
 
     def __post_init__(self):
         if self.timeslice <= 0:
             raise ValueError("timeslice must be positive")
+        if self.matcher not in ("hash", "linear"):
+            raise ValueError(
+                f"matcher must be 'hash' or 'linear', not {self.matcher!r}"
+            )
         sched = self.dem_min_duration + self.msm_min_duration
         if sched >= self.timeslice:
             raise ValueError(

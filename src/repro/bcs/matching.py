@@ -8,22 +8,96 @@ This module implements that matcher with full MPI semantics:
 - the non-overtaking rule: two sends on the same (comm, src, dst) pair
   match receives in the order they were posted,
 - truncation detection when a matched message exceeds the receive buffer.
+
+Two interchangeable implementations live here:
+
+- :class:`LinearMatcher` — the original O(U×P) list scan.  Kept verbatim
+  as the reference oracle for the differential tests, and selectable via
+  ``BcsConfig(matcher="linear")``.
+- :class:`HashMatcher` — hash-bucketed queues with ordered wildcard
+  fallback lists.  Matching cost is O(1) per descriptor (amortized)
+  instead of a scan over every pending descriptor, while producing the
+  *identical* match sequence (`tests/bcs/test_matching_differential.py`
+  pins this against the oracle for randomized streams).
+
+``Matcher`` is an alias for the default implementation.
+
+How the hashed structures preserve linear-scan semantics
+--------------------------------------------------------
+
+Both queues carry a shared arrival clock (``_seq``), so "first posted" /
+"first arrived" is a min-seq question.
+
+*Posted receives* live in exactly one bucket keyed by their own pattern
+``(job, comm, rank, src, tag)`` — wildcards included, as literal key
+components.  A send with concrete ``(src, tag)`` can only be matched by
+receives whose pattern is one of four keys: ``(src, tag)``,
+``(src, ANY)``, ``(ANY, tag)``, ``(ANY, ANY)``.  Probing those four
+buckets and taking the live head with the smallest seq is therefore
+exactly "the first posted receive that matches".
+
+*Unexpected sends* are indexed in four families — one per receive
+wildcard shape: exact ``(job, comm, dst, src, tag)``, by-source
+``(job, comm, dst, src)``, by-tag ``(job, comm, dst, tag)``, and
+catch-all ``(job, comm, dst)``.  A new receive consults the single
+family matching its own wildcard shape, whose bucket holds — in arrival
+order — precisely the sends its pattern matches.  Sends removed through
+one family leave stale entries in the other three; entries are validated
+lazily against the authoritative insertion-ordered dict (``_usends``)
+and dropped when dead.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..sim.errors import SimError
-from .descriptors import Match, RecvDescriptor, SendDescriptor
+from .descriptors import ANY_SOURCE, ANY_TAG, Match, RecvDescriptor, SendDescriptor
 
 
 class TruncationError(SimError):
     """A matched message is larger than the posted receive buffer."""
 
 
-class Matcher:
-    """Per-node matcher holding the unexpected and posted queues."""
+class _MatcherBase:
+    """Shared pairing / reporting logic of both matcher implementations."""
+
+    node_id: int
+
+    def _pair(self, send: SendDescriptor, recv: RecvDescriptor) -> Match:
+        if send.size > recv.capacity:
+            raise TruncationError(
+                f"message of {send.size} B from rank {send.src_rank} "
+                f"(tag {send.tag}) exceeds the {recv.capacity} B receive "
+                f"buffer of rank {recv.rank}"
+            )
+        return Match(
+            send=send,
+            recv=recv,
+            src_node=-1,  # filled in by the runtime, which knows placement
+            dst_node=self.node_id,
+            total_bytes=send.size,
+        )
+
+    @property
+    def pending_counts(self) -> tuple[int, int]:
+        """(unexpected sends, posted receives) still queued."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        u, p = self.pending_counts
+        return f"<{type(self).__name__} node={self.node_id} unexpected={u} posted={p}>"
+
+
+class LinearMatcher(_MatcherBase):
+    """Per-node matcher holding the unexpected and posted queues.
+
+    The straightforward list-scan implementation; also the reference
+    oracle the hashed matcher is differentially tested against.
+    """
+
+    __slots__ = ("node_id", "unexpected", "posted")
 
     def __init__(self, node_id: int):
         self.node_id = node_id
@@ -52,28 +126,201 @@ class Matcher:
         self.posted.append(recv)
         return None
 
-    # -- internals ----------------------------------------------------------------
-
-    def _pair(self, send: SendDescriptor, recv: RecvDescriptor) -> Match:
-        if send.size > recv.capacity:
-            raise TruncationError(
-                f"message of {send.size} B from rank {send.src_rank} "
-                f"(tag {send.tag}) exceeds the {recv.capacity} B receive "
-                f"buffer of rank {recv.rank}"
-            )
-        return Match(
-            send=send,
-            recv=recv,
-            src_node=-1,  # filled in by the runtime, which knows placement
-            dst_node=self.node_id,
-            total_bytes=send.size,
-        )
+    def purge_job(self, job_id: int) -> None:
+        """Drop every descriptor belonging to ``job_id``."""
+        self.unexpected = [d for d in self.unexpected if d.job_id != job_id]
+        self.posted = [d for d in self.posted if d.job_id != job_id]
 
     @property
     def pending_counts(self) -> tuple[int, int]:
         """(unexpected sends, posted receives) still queued."""
         return len(self.unexpected), len(self.posted)
 
-    def __repr__(self) -> str:
-        u, p = self.pending_counts
-        return f"<Matcher node={self.node_id} unexpected={u} posted={p}>"
+
+class HashMatcher(_MatcherBase):
+    """Hash-bucketed matcher: O(1) amortized per descriptor.
+
+    Semantically identical to :class:`LinearMatcher` — same match
+    sequence, same truncation behavior, same queue ordering — but probes
+    at most four buckets per operation instead of scanning every pending
+    descriptor (see the module docstring for the invariants).
+    """
+
+    __slots__ = (
+        "node_id",
+        "_seq",
+        "_usends",
+        "_precvs",
+        "_u_exact",
+        "_u_src",
+        "_u_tag",
+        "_u_any",
+        "_p_buckets",
+    )
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        #: Shared arrival clock across both queues.
+        self._seq = 0
+        #: Authoritative unexpected-send queue: desc_id -> (seq, send),
+        #: insertion-ordered (= arrival order).
+        self._usends: Dict[int, Tuple[int, SendDescriptor]] = {}
+        #: Authoritative posted-receive queue: desc_id -> (seq, recv).
+        self._precvs: Dict[int, Tuple[int, RecvDescriptor]] = {}
+        # Unexpected-send index, one family per receive wildcard shape.
+        self._u_exact: Dict[tuple, Deque[Tuple[int, SendDescriptor]]] = {}
+        self._u_src: Dict[tuple, Deque[Tuple[int, SendDescriptor]]] = {}
+        self._u_tag: Dict[tuple, Deque[Tuple[int, SendDescriptor]]] = {}
+        self._u_any: Dict[tuple, Deque[Tuple[int, SendDescriptor]]] = {}
+        #: Posted receives bucketed by their own (wildcard-literal) pattern.
+        self._p_buckets: Dict[tuple, Deque[Tuple[int, RecvDescriptor]]] = {}
+
+    # -- queue feeds -----------------------------------------------------------
+
+    def add_send(self, send: SendDescriptor) -> Optional[Match]:
+        """An arrived send descriptor: match or park as unexpected."""
+        j, c, d = send.job_id, send.comm_id, send.dst_rank
+        s, t = send.src_rank, send.tag
+        precvs = self._precvs
+        buckets = self._p_buckets
+
+        best_seq = -1
+        best_bucket: Optional[Deque[Tuple[int, RecvDescriptor]]] = None
+        for key in (
+            (j, c, d, s, t),
+            (j, c, d, s, ANY_TAG),
+            (j, c, d, ANY_SOURCE, t),
+            (j, c, d, ANY_SOURCE, ANY_TAG),
+        ):
+            bucket = buckets.get(key)
+            if not bucket:
+                continue
+            # Lazily drop heads whose receive was consumed via another path.
+            while bucket and bucket[0][1].desc_id not in precvs:
+                bucket.popleft()
+            if not bucket:
+                del buckets[key]
+                continue
+            seq = bucket[0][0]
+            if best_bucket is None or seq < best_seq:
+                best_seq = seq
+                best_bucket = bucket
+
+        if best_bucket is not None:
+            _, recv = best_bucket.popleft()
+            del precvs[recv.desc_id]
+            return self._pair(send, recv)
+
+        self._seq += 1
+        entry = (self._seq, send)
+        self._usends[send.desc_id] = entry
+        _append(self._u_exact, (j, c, d, s, t), entry)
+        _append(self._u_src, (j, c, d, s), entry)
+        _append(self._u_tag, (j, c, d, t), entry)
+        _append(self._u_any, (j, c, d), entry)
+        return None
+
+    def add_recv(self, recv: RecvDescriptor) -> Optional[Match]:
+        """A posted receive: match the earliest arrived send, or park."""
+        j, c, r = recv.job_id, recv.comm_id, recv.rank
+        s, t = recv.src_rank, recv.tag
+        if s != ANY_SOURCE:
+            if t != ANY_TAG:
+                family, key = self._u_exact, (j, c, r, s, t)
+            else:
+                family, key = self._u_src, (j, c, r, s)
+        elif t != ANY_TAG:
+            family, key = self._u_tag, (j, c, r, t)
+        else:
+            family, key = self._u_any, (j, c, r)
+
+        bucket = family.get(key)
+        if bucket:
+            usends = self._usends
+            while bucket:
+                _, send = bucket.popleft()
+                if send.desc_id in usends:
+                    if not bucket:
+                        del family[key]
+                    del usends[send.desc_id]
+                    return self._pair(send, recv)
+            del family[key]
+
+        self._seq += 1
+        self._precvs[recv.desc_id] = (self._seq, recv)
+        _append(self._p_buckets, (j, c, r, s, t), (self._seq, recv))
+        return None
+
+    # -- maintenance -----------------------------------------------------------
+
+    def purge_job(self, job_id: int) -> None:
+        """Drop every descriptor belonging to ``job_id``.
+
+        Rare (failure teardown), so it simply filters the authoritative
+        queues and rebuilds the index buckets, preserving arrival seqs.
+        """
+        self._usends = {
+            k: v for k, v in self._usends.items() if v[1].job_id != job_id
+        }
+        self._precvs = {
+            k: v for k, v in self._precvs.items() if v[1].job_id != job_id
+        }
+        self._u_exact = {}
+        self._u_src = {}
+        self._u_tag = {}
+        self._u_any = {}
+        self._p_buckets = {}
+        for entry in self._usends.values():
+            send = entry[1]
+            j, c, d = send.job_id, send.comm_id, send.dst_rank
+            _append(self._u_exact, (j, c, d, send.src_rank, send.tag), entry)
+            _append(self._u_src, (j, c, d, send.src_rank), entry)
+            _append(self._u_tag, (j, c, d, send.tag), entry)
+            _append(self._u_any, (j, c, d), entry)
+        for entry in self._precvs.values():
+            recv = entry[1]
+            key = (recv.job_id, recv.comm_id, recv.rank, recv.src_rank, recv.tag)
+            _append(self._p_buckets, key, entry)
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def unexpected(self) -> List[SendDescriptor]:
+        """Arrived-but-unmatched sends, in arrival order (snapshot)."""
+        return [send for _, send in self._usends.values()]
+
+    @property
+    def posted(self) -> List[RecvDescriptor]:
+        """Posted-but-unmatched receives, in post order (snapshot)."""
+        return [recv for _, recv in self._precvs.values()]
+
+    @property
+    def pending_counts(self) -> tuple[int, int]:
+        """(unexpected sends, posted receives) still queued — O(1)."""
+        return len(self._usends), len(self._precvs)
+
+
+def _append(family: dict, key: tuple, entry: tuple) -> None:
+    bucket = family.get(key)
+    if bucket is None:
+        family[key] = deque((entry,))
+    else:
+        bucket.append(entry)
+
+
+#: The default matcher implementation.
+Matcher = HashMatcher
+
+#: Implementations selectable through ``BcsConfig.matcher``.
+MATCHERS = {"hash": HashMatcher, "linear": LinearMatcher}
+
+
+def make_matcher(kind: str, node_id: int):
+    """Instantiate the matcher implementation named ``kind``."""
+    try:
+        cls = MATCHERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown matcher {kind!r}; choose from {sorted(MATCHERS)}"
+        ) from None
+    return cls(node_id)

@@ -35,6 +35,59 @@ from .threads import (
 )
 
 
+class HookList:
+    """Slice-boundary hook registry with mutation-safe firing.
+
+    The Strobe Sender used to snapshot ``list(on_slice_start)`` on every
+    slice so hooks could deregister themselves while running.  That copy
+    is pure overhead in the steady state (hooks change rarely: gang
+    scheduler setup, failure teardown).  Here the snapshot is a cached
+    tuple, rebuilt only when the registry is mutated; :meth:`fire`
+    iterates the cache, so a hook removed mid-fire still runs for the
+    slice that started firing — byte-for-byte the old semantics — and an
+    unchanged registry costs zero copies per slice.
+    """
+
+    __slots__ = ("_hooks", "_snapshot")
+
+    def __init__(self):
+        self._hooks: List = []
+        self._snapshot: Optional[tuple] = ()
+
+    def append(self, hook) -> None:
+        """Register a hook (called with the slice number)."""
+        self._hooks.append(hook)
+        self._snapshot = None
+
+    def remove(self, hook) -> None:
+        """Deregister a hook; safe to call from inside :meth:`fire`."""
+        self._hooks.remove(hook)
+        self._snapshot = None
+
+    def fire(self, slice_no: int) -> None:
+        """Invoke every registered hook with ``slice_no``."""
+        snap = self._snapshot
+        if snap is None:
+            snap = self._snapshot = tuple(self._hooks)
+        for hook in snap:
+            hook(slice_no)
+
+    def __iter__(self):
+        return iter(self._hooks)
+
+    def __len__(self) -> int:
+        return len(self._hooks)
+
+    def __bool__(self) -> bool:
+        return bool(self._hooks)
+
+    def __contains__(self, hook) -> bool:
+        return hook in self._hooks
+
+    def __repr__(self) -> str:
+        return f"<HookList n={len(self._hooks)}>"
+
+
 class CommInfo:
     """One communicator's mapping onto the machine.
 
@@ -158,8 +211,9 @@ class BcsRuntime:
         #: Nodes hosting at least one rank of any job (strobe targets).
         self.active_node_ids: List[int] = []
         #: Hooks invoked at every slice boundary with the new slice number
-        #: (gang scheduler, instrumentation, ...).
-        self.on_slice_start: List = []
+        #: (gang scheduler, instrumentation, ...).  A non-empty registry
+        #: also disables idle fast-forward: hooks may create work.
+        self.on_slice_start = HookList()
         #: Telemetry hub (:class:`repro.obs.Observability`) or None.
         #: Hot paths guard on this — a bare runtime pays one attribute
         #: read per hook point and nothing else.
@@ -351,8 +405,7 @@ class BcsRuntime:
             nrt.posted_colls = [d for d in nrt.posted_colls if keep(d)]
             nrt.arrived_sends = [d for d in nrt.arrived_sends if keep(d)]
             nrt.new_matches = [m for m in nrt.new_matches if keep(m.send)]
-            nrt.matcher.unexpected = [d for d in nrt.matcher.unexpected if keep(d)]
-            nrt.matcher.posted = [d for d in nrt.matcher.posted if keep(d)]
+            nrt.matcher.purge_job(job_id)
             dropped = [
                 key for key in nrt.coll_state if key[0] == job_id
             ]

@@ -16,9 +16,9 @@ Slice structure (Figure 5):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, List, Optional
+from typing import TYPE_CHECKING, Any, List
 
-from ..sim import Event, Store
+from ..sim import Latch, Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import BcsRuntime
@@ -29,14 +29,19 @@ DEM, MSM, P2P, BBM, RM = "DEM", "MSM", "P2P", "BBM", "RM"
 MICROPHASES = (DEM, MSM, P2P, BBM, RM)
 
 
-@dataclass
+@dataclass(slots=True)
 class Strobe:
-    """One microstrobe delivered to a Strobe Receiver."""
+    """One microstrobe delivered to a Strobe Receiver.
+
+    ``done`` is shared by every receiver of the same microphase: each SR
+    counts it down once, and the Strobe Sender resumes when the last
+    participant reports in.
+    """
 
     phase: str
     slice_no: int
     payload: Any
-    done: Event
+    done: Latch
 
 
 class StrobeReceiver:
@@ -61,7 +66,7 @@ class StrobeReceiver:
         while True:
             strobe = yield self.inbox.get()
             if strobe.phase == "STOP":
-                strobe.done.succeed(None)
+                strobe.done.count_down()
                 return
             t0 = nrt.env.now
             yield from handlers[strobe.phase](strobe)
@@ -76,7 +81,7 @@ class StrobeReceiver:
                 obs.node_phase(
                     nrt.node_id, strobe.phase, strobe.slice_no, t0, nrt.env.now
                 )
-            strobe.done.succeed(None)
+            strobe.done.count_down()
 
     def _dem(self, agents):
         yield from agents.bs.dem_phase()
@@ -100,20 +105,22 @@ class StrobeSender:
         runtime = self.runtime
         cfg = runtime.config
         env = self.env
+        timeslice = cfg.timeslice
         mins = {DEM: cfg.dem_min_duration, MSM: cfg.msm_min_duration}
+        node_runtimes = runtime.node_runtimes
+        hooks = runtime.on_slice_start
+        fast_forward = cfg.idle_fast_forward
 
         while not runtime.stopped:
             start = env.now
             runtime.slice_no += 1
             runtime.stats["slices"] += 1
-            for nrt in runtime.node_runtimes:
+            for nrt in node_runtimes:
                 nrt.begin_slice(start)
-            # Snapshot: hooks may deregister themselves while running.
-            for hook in list(runtime.on_slice_start):
-                hook(runtime.slice_no)
+            hooks.fire(runtime.slice_no)
             # Slice boundary: the NM restarts processes whose blocking
             # operations completed during the previous slice.
-            for nrt in runtime.node_runtimes:
+            for nrt in node_runtimes:
                 nrt.slice_start.pulse(runtime.slice_no)
 
             obs = runtime.obs
@@ -134,11 +141,44 @@ class StrobeSender:
                 yield from self._microphase(RM, runtime.rm_nodes(), 0)
 
             elapsed = env.now - start
-            overrun = elapsed >= cfg.timeslice
-            if not overrun:
-                yield env.timeout(cfg.timeslice - elapsed)
+            if elapsed < timeslice:
+                if fast_forward and not active and not hooks:
+                    if cfg.auto_stop and runtime.idle():
+                        # The loop exits after this slice anyway.
+                        pass
+                    else:
+                        # Idle fast-forward.  No work exists now, no hook
+                        # can create any at a boundary, and cluster state
+                        # cannot change before the next queued event at
+                        # t_next — so every boundary strictly before
+                        # t_next replays this slice verbatim: same empty
+                        # queues, same zero-waiter pulses, same idle
+                        # bookkeeping.  Skip straight to the first
+                        # boundary at or after t_next in one timeout;
+                        # events firing in between land within the final
+                        # (partial) slice and are observed at the wake
+                        # boundary exactly as without the skip.
+                        t_next = env.peek()
+                        if t_next is not None and t_next - start > timeslice:
+                            skipped = -(-(t_next - start) // timeslice) - 1
+                            runtime.slice_no += skipped
+                            runtime.stats["slices"] += skipped
+                            runtime.stats["idle_slices_skipped"] += skipped
+                            if obs is not None:
+                                first = runtime.slice_no - skipped
+                                obs.slice_end(
+                                    first, start, start + timeslice, False, False
+                                )
+                                obs.idle_skip(
+                                    first + 1, start + timeslice, timeslice, skipped
+                                )
+                            yield env.timeout((skipped + 1) * timeslice - elapsed)
+                            continue
+                yield env.timeout(timeslice - elapsed)
+                overrun = False
             else:
                 runtime.stats["slice_overruns"] += 1
+                overrun = True
             if obs is not None:
                 obs.slice_end(runtime.slice_no, start, env.now, active, overrun)
             if cfg.auto_stop and runtime.idle():
@@ -159,20 +199,24 @@ class StrobeSender:
         if obs is not None:
             obs.phase_begin(phase, runtime.slice_no, t0)
 
-        # Microstrobe: Xfer-And-Signal to every compute node's SR.
+        # Microstrobe: Xfer-And-Signal to every compute node's SR.  The
+        # active-node list is kept sorted and deduplicated by the
+        # runtime, so its length is passed straight through.
         yield from runtime.cluster.fabric.control_multicast(
-            mgmt, runtime.active_node_ids, runtime.config.strobe_bytes
+            mgmt,
+            runtime.active_node_ids,
+            runtime.config.strobe_bytes,
+            n_dests=len(runtime.active_node_ids),
         )
 
         if nodes:
-            done_events = []
+            # One latch shared by all participants: the SS resumes when
+            # the count reaches zero, without an N-event AllOf fan-in.
+            done = Latch(env, len(nodes), name=f"{phase}:{runtime.slice_no}")
+            strobe = Strobe(phase, runtime.slice_no, payload, done)
             for node_id in nodes:
-                ev = env.event(name=f"{phase}:{node_id}")
-                runtime.receivers[node_id].inbox.put(
-                    Strobe(phase, runtime.slice_no, payload, ev)
-                )
-                done_events.append(ev)
-            yield env.all_of(done_events)
+                runtime.receivers[node_id].inbox.put(strobe)
+            yield done
             # SS verifies global completion with a Compare-And-Write on
             # the per-node microphase counters.
             yield from runtime.core.compare_and_write(

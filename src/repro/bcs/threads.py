@@ -37,7 +37,7 @@ from .descriptors import (
     SendDescriptor,
     payload_nbytes,
 )
-from .matching import Matcher
+from .matching import make_matcher
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import BcsRuntime
@@ -116,7 +116,7 @@ class NodeRuntime:
         self.posted_colls: List[CollectiveDescriptor] = []
 
         # BR state.
-        self.matcher = Matcher(node_id)
+        self.matcher = make_matcher(self.config.matcher, node_id)
         #: Send descriptors delivered by remote BS threads this slice.
         self.arrived_sends: List[SendDescriptor] = []
         #: Matches created in the current MSM (collected by the runtime).

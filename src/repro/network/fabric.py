@@ -75,8 +75,19 @@ class Fabric:
         dst_nic = self.nics[dst]
         wire = bw_time(size + model.header_bytes, model.link_bandwidth)
 
-        yield src_nic.tx.request()
-        yield dst_nic.rx.request()
+        # Fast path: when both link halves are free with no queued
+        # claimants, a request() pair would be granted right here at the
+        # current instant — claim synchronously and skip two event hops.
+        # Contended transfers fall back to the ordered acquisition that
+        # keeps the fabric deadlock-free.
+        if src_nic.tx.try_acquire():
+            if not dst_nic.rx.try_acquire():
+                src_nic.tx.release()
+                yield src_nic.tx.request()
+                yield dst_nic.rx.request()
+        else:
+            yield src_nic.tx.request()
+            yield dst_nic.rx.request()
         start = self.env.now
         try:
             yield self.env.timeout(model.dma_startup + wire)
@@ -97,15 +108,26 @@ class Fabric:
 
     # -- multicast -----------------------------------------------------------------
 
-    def control_multicast(self, src: int, dests: Iterable[int], size: int) -> Generator:
+    def control_multicast(
+        self,
+        src: int,
+        dests: Iterable[int],
+        size: int,
+        n_dests: int | None = None,
+    ) -> Generator:
         """Tiny control multicast (strobes): pays latency, skips link queues.
 
         Microstrobes are minimal packets on QsNet's prioritized virtual
         channel; modelling per-receiver link occupancy for them would add
         thousands of simulator events per slice for sub-microsecond
         serializations, so they are charged latency + startup only.
+
+        Only the *number* of distinct destinations matters for timing.
+        Callers that already know it (the Strobe Sender keeps a sorted,
+        deduplicated active-node list) pass ``n_dests`` so the five
+        microstrobes per slice don't rebuild a set each time.
         """
-        n = len(set(dests))
+        n = len(set(dests)) if n_dests is None else n_dests
         if n == 0:
             return
         yield self.env.timeout(
@@ -139,17 +161,55 @@ class Fabric:
         remote = [d for d in dest_list if d != src]
         wire = bw_time(size + model.header_bytes, model.mcast_bandwidth)
 
+        # Batched acquisition fast path: when the tx half and *every*
+        # receiver's rx half are free with no queued claimants, the
+        # sequential request chain below would grant them all at this
+        # same instant — claim the whole set synchronously and skip
+        # len(remote) + 1 event hops.  Any busy link falls back to the
+        # ordered sequential acquisition (tx first, rx in ascending node
+        # id), preserving the deadlock-freedom discipline.
+        nics = self.nics
+        held_rx = []
+        if src_nic.tx.try_acquire():
+            for d in remote:
+                if nics[d].rx.try_acquire():
+                    held_rx.append(d)
+                else:
+                    src_nic.tx.release()
+                    for h in held_rx:
+                        nics[h].rx.release()
+                    held_rx = []
+                    break
+            else:
+                try:
+                    yield self.env.timeout(model.dma_startup + wire)
+                finally:
+                    src_nic.tx.release()
+                    for d in held_rx:
+                        nics[d].rx.release()
+                yield self.env.timeout(model.mcast_latency(len(dest_list)))
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.env.now,
+                        "fabric.multicast",
+                        src=src,
+                        dests=tuple(dest_list),
+                        size=size,
+                        label=label,
+                    )
+                return
+
         yield src_nic.tx.request()
         held_rx = []
         try:
             for d in remote:
-                yield self.nics[d].rx.request()
+                yield nics[d].rx.request()
                 held_rx.append(d)
             yield self.env.timeout(model.dma_startup + wire)
         finally:
             src_nic.tx.release()
             for d in held_rx:
-                self.nics[d].rx.release()
+                nics[d].rx.release()
         yield self.env.timeout(model.mcast_latency(len(dest_list)))
         if self.trace is not None:
             self.trace.emit(

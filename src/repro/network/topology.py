@@ -25,6 +25,11 @@ class FatTree:
             raise ValueError("need at least one node")
         if self.radix < 2:
             raise ValueError("radix must be >= 2")
+        # Route table built lazily: hop counts are pure functions of the
+        # (unordered) node pair, and the fabric asks for the same pairs on
+        # every transfer.  The cache is undeclared state on a frozen
+        # dataclass, so it stays out of __eq__/__repr__.
+        object.__setattr__(self, "_hop_cache", {})
 
     @property
     def levels(self) -> int:
@@ -53,7 +58,11 @@ class FatTree:
         if a == b:
             self._check(a)
             return 0
-        return 2 * self._ancestor_level(a, b)
+        key = (a, b) if a < b else (b, a)
+        cached = self._hop_cache.get(key)
+        if cached is None:
+            cached = self._hop_cache[key] = 2 * self._ancestor_level(a, b)
+        return cached
 
     def multicast_hops(self, n_dests: int) -> int:
         """Stages traversed by a hardware multicast covering ``n_dests``."""

@@ -24,6 +24,8 @@ metric                             kind       meaning
 ``bcs.microphase.duration_ns``     histogram  per-phase duration (labeled)
 ``bcs.strobe.skew_ns``             histogram  per-phase node completion skew
 ``bcs.queue.depth``                histogram  descriptor queue depth per slice
+``bcs.match.unexpected``           gauge      unexpected sends queued (matcher)
+``bcs.match.posted``               gauge      posted receives queued (matcher)
 ``bcs.sched.granted_bytes``        histogram  bytes granted per active slice
 ``bcs.sched.link_utilization``     histogram  per-source tx budget fraction
 ``bcs.sched.backlog_bytes``        gauge      current scheduler backlog
@@ -107,22 +109,28 @@ class Observability:
     # -- slice lifecycle (called by the Strobe Sender) ------------------------------
 
     def slice_begin(self, slice_no: int, t: int) -> None:
-        """Start of a slice: sample descriptor queue depths."""
+        """Start of a slice: sample descriptor queue and matcher depths."""
         runtime = self.runtime
         self._slice_busy = 0
         if runtime is None:
             return
         sends = recvs = colls = arrived = 0
+        unexpected = posted = 0
         for nrt in runtime.node_runtimes:
             sends += len(nrt.posted_sends)
             recvs += len(nrt.posted_recvs)
             colls += len(nrt.posted_colls)
             arrived += len(nrt.arrived_sends)
+            u, p = nrt.matcher.pending_counts
+            unexpected += u
+            posted += p
         reg = self.registry
         reg.histogram("bcs.queue.depth", kind="posted_sends").observe(sends)
         reg.histogram("bcs.queue.depth", kind="posted_recvs").observe(recvs)
         reg.histogram("bcs.queue.depth", kind="posted_colls").observe(colls)
         reg.histogram("bcs.queue.depth", kind="arrived_sends").observe(arrived)
+        reg.gauge("bcs.match.unexpected").set(unexpected)
+        reg.gauge("bcs.match.posted").set(posted)
         if self.perfetto is not None:
             self.perfetto.counter(
                 self.mgmt_pid,
@@ -156,6 +164,69 @@ class Observability:
                 t1 - t0,
                 args={"utilization": utilization, "active": active},
             )
+
+    def idle_skip(
+        self, first_slice: int, first_start: int, timeslice: int, count: int
+    ) -> None:
+        """Replay telemetry for ``count`` idle slices skipped in one jump.
+
+        The Strobe Sender's idle fast-forward only fires when cluster
+        state provably cannot change until the wake boundary, so every
+        skipped slice would have produced the same samples: zero queue
+        depths (``any_work`` was false), frozen matcher gauges, an idle
+        slice count, zero utilization.  The sums are sampled once and the
+        per-slice records emitted in exactly the order the non-skipping
+        loop would have, keeping metric and trace output independent of
+        the ``idle_fast_forward`` setting.
+        """
+        if count <= 0:
+            return
+        runtime = self.runtime
+        unexpected = posted = 0
+        if runtime is not None:
+            for nrt in runtime.node_runtimes:
+                u, p = nrt.matcher.pending_counts
+                unexpected += u
+                posted += p
+        reg = self.registry
+        h_sends = reg.histogram("bcs.queue.depth", kind="posted_sends")
+        h_recvs = reg.histogram("bcs.queue.depth", kind="posted_recvs")
+        h_colls = reg.histogram("bcs.queue.depth", kind="posted_colls")
+        h_arrived = reg.histogram("bcs.queue.depth", kind="arrived_sends")
+        g_unexpected = reg.gauge("bcs.match.unexpected")
+        g_posted = reg.gauge("bcs.match.posted")
+        idle_counter = reg.counter("bcs.slice.count", kind="idle")
+        utilization = reg.histogram("bcs.slice.utilization")
+        perfetto = self.perfetto
+        depths = {
+            "posted_sends": 0,
+            "posted_recvs": 0,
+            "posted_colls": 0,
+            "arrived_sends": 0,
+        }
+        for i in range(count):
+            t = first_start + i * timeslice
+            h_sends.observe(0)
+            h_recvs.observe(0)
+            h_colls.observe(0)
+            h_arrived.observe(0)
+            g_unexpected.set(unexpected)
+            g_posted.set(posted)
+            if perfetto is not None:
+                perfetto.counter(self.mgmt_pid, "descriptor queues", t, depths)
+            idle_counter.inc()
+            utilization.observe(0.0)
+            if perfetto is not None:
+                perfetto.complete(
+                    self.mgmt_pid,
+                    TID_MICROPHASES,
+                    f"slice {first_slice + i}",
+                    "slice",
+                    t,
+                    timeslice,
+                    args={"utilization": 0.0, "active": False},
+                )
+        self._slice_busy = 0
 
     # -- microphases ---------------------------------------------------------------
 

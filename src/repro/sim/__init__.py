@@ -6,7 +6,7 @@ processes are generator coroutines that yield :class:`Event` objects.
 
 from .engine import Engine
 from .errors import Deadlock, EventAlreadyTriggered, Interrupt, SimError
-from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .events import AllOf, AnyOf, Condition, Event, Latch, Timeout
 from .process import Process
 from .resources import Gate, Resource, Signal, Store
 from .rng import RngRegistry, derive_seed
@@ -22,6 +22,7 @@ __all__ = [
     "EventAlreadyTriggered",
     "Gate",
     "Interrupt",
+    "Latch",
     "NullTrace",
     "Process",
     "Resource",

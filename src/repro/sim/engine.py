@@ -18,6 +18,8 @@ from .process import Process
 class Engine:
     """Discrete-event simulation engine ("environment")."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_proc", "trace")
+
     def __init__(self, trace=None):
         self._now = 0
         self._queue: list = []  # heap of (time, priority, seq, event)
@@ -62,7 +64,9 @@ class Engine:
 
     # -- scheduling --------------------------------------------------------------
 
-    def schedule(self, event: Event, delay: int = 0, priority: int = 0) -> None:
+    def schedule(
+        self, event: Event, delay: int = 0, priority: int = 0, _heappush=heapq.heappush
+    ) -> None:
         """Queue a triggered event's callbacks to run ``delay`` ns from now.
 
         ``priority`` orders events scheduled for the same instant (lower
@@ -72,15 +76,15 @@ class Engine:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        _heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
         return self._queue[0][0] if self._queue else None
 
-    def step(self) -> None:
+    def step(self, _heappop=heapq.heappop) -> None:
         """Process the next scheduled event."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = _heappop(self._queue)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -117,11 +121,17 @@ class Engine:
             raise TypeError(f"until must be None, int, or Event, not {type(until)!r}")
 
         try:
-            while self._queue:
-                if stop_time is not None and self._queue[0][0] > stop_time:
-                    self._now = stop_time
-                    return None
-                self.step()
+            queue = self._queue
+            step = self.step
+            if stop_time is None:
+                while queue:
+                    step()
+            else:
+                while queue:
+                    if queue[0][0] > stop_time:
+                        self._now = stop_time
+                        return None
+                    step()
         except StopEngine:
             assert stop_event is not None
             if not stop_event._ok:

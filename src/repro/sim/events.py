@@ -121,6 +121,38 @@ class Timeout(Event):
         env.schedule(self, delay=self.delay)
 
 
+class Latch(Event):
+    """Countdown event: triggers after ``count`` calls to :meth:`count_down`.
+
+    A barrier where the waiters' values don't matter.  Compared to the
+    (one event per party + :class:`AllOf`) pattern it allocates a single
+    event, registers no fan-in callbacks, and fires the moment the last
+    party counts down — at the same timestamp, one event hop earlier.
+    A latch created with ``count == 0`` succeeds immediately.
+    """
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, env, count: int, name: str = ""):
+        if count < 0:
+            raise ValueError(f"negative latch count {count}")
+        super().__init__(env, name=name)
+        self.remaining = count
+        if count == 0:
+            self.succeed(None)
+
+    def count_down(self, n: int = 1) -> "Latch":
+        """Decrement the count by ``n``; triggers when it reaches zero."""
+        if n < 1:
+            raise ValueError(f"count_down amount must be >= 1, got {n}")
+        if self.remaining < n:
+            raise EventAlreadyTriggered(repr(self))
+        self.remaining -= n
+        if self.remaining == 0:
+            self.succeed(None)
+        return self
+
+
 class Condition(Event):
     """Composite event over a fixed set of sub-events.
 

@@ -54,6 +54,8 @@ class Resource:
     keeps grant order deterministic and starvation-free).
     """
 
+    __slots__ = ("env", "capacity", "name", "_in_use", "_waiting")
+
     def __init__(self, env: Engine, capacity: int = 1, name: str = "resource"):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -89,6 +91,24 @@ class Resource:
         self._waiting.append(req)
         self._grant()
         return req
+
+    def try_acquire(self, amount: int = 1) -> bool:
+        """Claim ``amount`` units synchronously, or do nothing.
+
+        Succeeds only when no request is waiting *and* the units are
+        free — exactly the situation where a ``request`` would be granted
+        at the same instant — so the fast path cannot overtake a queued
+        claimant.  Returns True on success; the caller must ``release``.
+        """
+        if amount < 1 or amount > self.capacity:
+            raise ValueError(
+                f"request of {amount} units on {self.name!r} "
+                f"with capacity {self.capacity}"
+            )
+        if self._waiting or amount > self.capacity - self._in_use:
+            return False
+        self._in_use += amount
+        return True
 
     def release(self, amount: int = 1) -> None:
         """Return ``amount`` units."""
@@ -155,6 +175,8 @@ class Store:
     next item; concurrent getters are served FIFO.
     """
 
+    __slots__ = ("env", "name", "_items", "_getters")
+
     def __init__(self, env: Engine, name: str = "store"):
         self.env = env
         self.name = name
@@ -212,6 +234,8 @@ class Signal:
     slice boundaries, where many parties wait for the same edge.
     """
 
+    __slots__ = ("env", "name", "_waiters", "_pulses")
+
     def __init__(self, env: Engine, name: str = "signal"):
         self.env = env
         self.name = name
@@ -250,6 +274,8 @@ class Gate:
     While *open*, ``wait()`` completes immediately; while *closed*, waiters
     queue until the next ``open()``.
     """
+
+    __slots__ = ("env", "name", "_open", "_waiters")
 
     def __init__(self, env: Engine, is_open: bool = False, name: str = "gate"):
         self.env = env

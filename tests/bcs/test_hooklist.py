@@ -1,0 +1,84 @@
+"""HookList: stable slice-hook registry with snapshot-firing semantics."""
+
+from repro.bcs.runtime import HookList
+
+
+def test_fire_calls_hooks_in_registration_order():
+    hooks = HookList()
+    calls = []
+    hooks.append(lambda s: calls.append(("a", s)))
+    hooks.append(lambda s: calls.append(("b", s)))
+    hooks.fire(7)
+    assert calls == [("a", 7), ("b", 7)]
+
+
+def test_len_bool_contains_iter():
+    hooks = HookList()
+    assert not hooks
+    assert len(hooks) == 0
+
+    def hook(s):
+        pass
+
+    hooks.append(hook)
+    assert hooks
+    assert len(hooks) == 1
+    assert hook in hooks
+    assert list(hooks) == [hook]
+    hooks.remove(hook)
+    assert hook not in hooks
+    assert not hooks
+
+
+def test_self_deregistration_during_fire():
+    """A hook removing itself still lets the rest of the snapshot run,
+    and is gone on the next fire — the old list(...) semantics."""
+    hooks = HookList()
+    calls = []
+
+    def once(s):
+        calls.append(("once", s))
+        hooks.remove(once)
+
+    hooks.append(once)
+    hooks.append(lambda s: calls.append(("tail", s)))
+    hooks.fire(1)
+    hooks.fire(2)
+    assert calls == [("once", 1), ("tail", 1), ("tail", 2)]
+
+
+def test_removing_a_later_hook_mid_fire_still_runs_it_this_round():
+    """Matches the original snapshot behavior: the fire that already
+    started uses the registry as it was at fire time."""
+    hooks = HookList()
+    calls = []
+
+    def later(s):
+        calls.append("later")
+
+    def remover(s):
+        calls.append("remover")
+        if s == 1:
+            hooks.remove(later)
+
+    hooks.append(remover)
+    hooks.append(later)
+    hooks.fire(1)
+    hooks.fire(2)
+    assert calls == ["remover", "later", "remover"]
+
+
+def test_append_during_fire_waits_for_next_round():
+    hooks = HookList()
+    calls = []
+
+    def adder(s):
+        calls.append("adder")
+        if s == 1:
+            hooks.append(lambda sn: calls.append("new"))
+
+    hooks.append(adder)
+    hooks.fire(1)
+    assert calls == ["adder"]
+    hooks.fire(2)
+    assert calls == ["adder", "adder", "new"]

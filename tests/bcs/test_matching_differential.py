@@ -1,0 +1,196 @@
+"""Differential tests: HashMatcher vs LinearMatcher on randomized streams.
+
+The hashed matcher must be observationally identical to the linear
+reference oracle: same match results in the same order, same truncation
+errors, same queue contents after every operation — across wildcard
+receives, multiple jobs/communicators, truncation, and job purges.
+"""
+
+import random
+
+import pytest
+
+from repro.bcs import ANY_SOURCE, ANY_TAG, HashMatcher, LinearMatcher, TruncationError
+from repro.bcs.descriptors import RecvDescriptor, SendDescriptor
+
+
+class _Req:
+    complete = False
+
+
+def _send(rng, dst):
+    return SendDescriptor(
+        job_id=rng.randrange(2),
+        comm_id=rng.randrange(2),
+        src_rank=rng.randrange(4),
+        dst_rank=dst,
+        tag=rng.randrange(4),
+        size=rng.choice([8, 64, 4096]),
+        request=_Req(),
+        seq=0,
+    )
+
+
+def _recv(rng, rank):
+    return RecvDescriptor(
+        job_id=rng.randrange(2),
+        comm_id=rng.randrange(2),
+        rank=rank,
+        src_rank=ANY_SOURCE if rng.random() < 0.3 else rng.randrange(4),
+        tag=ANY_TAG if rng.random() < 0.3 else rng.randrange(4),
+        # Small capacities occasionally force truncation on 4096 B sends.
+        capacity=rng.choice([1 << 30, 1 << 30, 1 << 30, 100]),
+        request=_Req(),
+    )
+
+
+def _clone_send(d):
+    return SendDescriptor(
+        job_id=d.job_id,
+        comm_id=d.comm_id,
+        src_rank=d.src_rank,
+        dst_rank=d.dst_rank,
+        tag=d.tag,
+        size=d.size,
+        request=d.request,
+        seq=d.seq,
+        desc_id=d.desc_id,
+    )
+
+
+def _clone_recv(d):
+    return RecvDescriptor(
+        job_id=d.job_id,
+        comm_id=d.comm_id,
+        rank=d.rank,
+        src_rank=d.src_rank,
+        tag=d.tag,
+        capacity=d.capacity,
+        request=d.request,
+        desc_id=d.desc_id,
+    )
+
+
+def _apply(matcher, op, desc):
+    """Run one op; returns ('match', sid, rid), ('none',) or ('trunc',)."""
+    try:
+        result = (matcher.add_send if op == "send" else matcher.add_recv)(desc)
+    except TruncationError:
+        return ("trunc",)
+    if result is None:
+        return ("none",)
+    return ("match", result.send.desc_id, result.recv.desc_id, result.total_bytes)
+
+
+def _snapshot(matcher):
+    return (
+        [d.desc_id for d in matcher.unexpected],
+        [d.desc_id for d in matcher.posted],
+        matcher.pending_counts,
+    )
+
+
+def _run_stream(seed):
+    rng = random.Random(seed)
+    linear = LinearMatcher(0)
+    hashed = HashMatcher(0)
+    n_ops = rng.randrange(4, 26)
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < 0.03:
+            job = rng.randrange(2)
+            linear.purge_job(job)
+            hashed.purge_job(job)
+        else:
+            op = "send" if roll < 0.53 else "recv"
+            # dst/rank drawn from {0, 1}: descriptors addressed to rank 1
+            # can never match the rank-0 ones, exercising non-matching
+            # buckets alongside matching ones.
+            target = rng.randrange(2)
+            desc = _send(rng, target) if op == "send" else _recv(rng, target)
+            clone = _clone_send(desc) if op == "send" else _clone_recv(desc)
+            got_l = _apply(linear, op, desc)
+            got_h = _apply(hashed, op, clone)
+            assert got_l == got_h, (seed, got_l, got_h)
+        assert _snapshot(linear) == _snapshot(hashed), seed
+
+
+@pytest.mark.parametrize("block", range(10))
+def test_differential_randomized_streams(block):
+    """10^4 randomized streams produce identical observable behavior."""
+    for i in range(1000):
+        _run_stream(block * 1000 + i)
+
+
+def test_differential_wildcard_ordering():
+    """A send must take the *earliest* posted receive across all four
+    pattern buckets, not the first bucket probed."""
+    for order in ([0, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1]):
+        rng = random.Random(7)
+        linear = LinearMatcher(0)
+        hashed = HashMatcher(0)
+        patterns = [
+            (1, 2),
+            (1, ANY_TAG),
+            (ANY_SOURCE, 2),
+            (ANY_SOURCE, ANY_TAG),
+        ]
+        descs = []
+        for idx in order:
+            src, tag = patterns[idx]
+            descs.append(
+                RecvDescriptor(
+                    job_id=0,
+                    comm_id=0,
+                    rank=0,
+                    src_rank=src,
+                    tag=tag,
+                    capacity=1 << 30,
+                    request=_Req(),
+                )
+            )
+        for d in descs:
+            assert linear.add_recv(_clone_recv(d)) is None
+            assert hashed.add_recv(_clone_recv(d)) is None
+        for _ in range(4):
+            s = SendDescriptor(
+                job_id=0,
+                comm_id=0,
+                src_rank=1,
+                dst_rank=0,
+                tag=2,
+                size=8,
+                request=_Req(),
+                seq=0,
+            )
+            got_l = _apply(linear, "send", s)
+            got_h = _apply(hashed, "send", _clone_send(s))
+            assert got_l == got_h
+            assert got_l[0] == "match"
+        assert linear.pending_counts == hashed.pending_counts == (0, 0)
+
+
+def test_differential_truncation_consumes_both_sides():
+    """Truncation removes both descriptors in both implementations."""
+    for first in ("send", "recv"):
+        linear = LinearMatcher(0)
+        hashed = HashMatcher(0)
+        s = SendDescriptor(
+            job_id=0, comm_id=0, src_rank=1, dst_rank=0, tag=3,
+            size=4096, request=_Req(), seq=0,
+        )
+        r = RecvDescriptor(
+            job_id=0, comm_id=0, rank=0, src_rank=1, tag=3,
+            capacity=16, request=_Req(),
+        )
+        for m in (linear, hashed):
+            if first == "send":
+                assert m.add_send(_clone_send(s)) is None
+                with pytest.raises(TruncationError):
+                    m.add_recv(_clone_recv(r))
+            else:
+                assert m.add_recv(_clone_recv(r)) is None
+                with pytest.raises(TruncationError):
+                    m.add_send(_clone_send(s))
+            assert m.pending_counts == (0, 0)
+        assert _snapshot(linear) == _snapshot(hashed)
