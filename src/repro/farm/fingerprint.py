@@ -1,0 +1,49 @@
+"""Code fingerprint: one hash over the whole ``repro`` source tree.
+
+The result store keys every cached row by ``(point hash, code
+fingerprint)``; touching any ``.py`` file under ``src/repro`` therefore
+invalidates the entire cache, which is the only safe default for a
+simulator whose every module can change virtual-time outcomes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["code_fingerprint", "result_key"]
+
+_cached: Optional[str] = None
+
+
+def code_fingerprint(root: Optional[Path] = None) -> str:
+    """Hex digest over every ``*.py`` file under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory; the
+    default result is memoized (the tree cannot change mid-process in a
+    meaningful way — a further run re-fingerprints).
+    """
+    global _cached
+    if root is None and _cached is not None:
+        return _cached
+    base = root
+    if base is None:
+        import repro
+
+        base = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        digest.update(path.relative_to(base).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    value = digest.hexdigest()[:20]
+    if root is None:
+        _cached = value
+    return value
+
+
+def result_key(fingerprint: str, point_hash: str) -> str:
+    """Store key for one (code version, point) pair."""
+    return hashlib.sha256(f"{fingerprint}:{point_hash}".encode()).hexdigest()

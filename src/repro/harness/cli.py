@@ -21,6 +21,15 @@ trace-event JSON (open in ui.perfetto.dev); ``metrics`` prints the
 slice-level metrics report and the per-rank MPI profile.  Both are
 deterministic: two runs with the same seed produce byte-identical
 output.
+
+Farm subcommands (see docs/FARM.md)::
+
+    python -m repro.harness.cli farm figures -j 4
+    python -m repro.harness.cli farm list
+
+``farm figures`` regenerates the same tables through a parallel,
+fault-isolated worker pool with content-addressed result caching; the
+rows are byte-identical to the sequential commands above.
 """
 
 from __future__ import annotations
@@ -64,7 +73,9 @@ def cmd_fig8a(args) -> None:
 def cmd_fig8b(args) -> None:
     _rows_to_table(
         "Fig 8(b): barrier benchmark vs processes",
-        experiments.fig8b_barrier_vs_procs(),
+        experiments.fig8b_barrier_vs_procs(
+            proc_counts=args.procs or (4, 8, 16, 32, 48, 62)
+        ),
     )
 
 
@@ -78,7 +89,9 @@ def cmd_fig8c(args) -> None:
 def cmd_fig8d(args) -> None:
     _rows_to_table(
         "Fig 8(d): nearest-neighbour benchmark vs processes",
-        experiments.fig8d_p2p_vs_procs(),
+        experiments.fig8d_p2p_vs_procs(
+            proc_counts=args.procs or (4, 8, 16, 32, 48, 62)
+        ),
     )
 
 
@@ -94,7 +107,10 @@ def cmd_table2(args) -> None:
 def cmd_fig10(args) -> None:
     _rows_to_table(
         "Fig 10: SAGE scaling",
-        experiments.fig10_sage_scaling(proc_counts=args.procs or (8, 16, 32, 48, 62)),
+        experiments.fig10_sage_scaling(
+            proc_counts=args.procs or (8, 16, 32, 48, 62),
+            scale=args.scale if args.scale is not None else 0.02,
+        ),
     )
 
 
@@ -106,9 +122,18 @@ def cmd_fig11(args) -> None:
 
 
 def cmd_ablations(args) -> None:
-    _rows_to_table("Ablation: time slice", experiments.ablation_timeslice())
-    _rows_to_table("Ablation: buffered sends", experiments.ablation_buffered_sends())
-    _rows_to_table("Ablation: kernel-level BCS", experiments.ablation_kernel_level())
+    _rows_to_table(
+        "Ablation: time slice",
+        experiments.ablation_timeslice(n_ranks=args.ranks or 16),
+    )
+    _rows_to_table(
+        "Ablation: buffered sends",
+        experiments.ablation_buffered_sends(n_ranks=args.ranks or 16),
+    )
+    _rows_to_table(
+        "Ablation: kernel-level BCS",
+        experiments.ablation_kernel_level(n_ranks=args.ranks or experiments.FULL_MACHINE),
+    )
 
 
 COMMANDS = {
@@ -206,9 +231,16 @@ def cmd_metrics(argv: List[str]) -> int:
     return 0
 
 
+def cmd_farm(argv: List[str]) -> int:
+    """``repro farm figures|list|metrics|clean ...`` (see docs/FARM.md)."""
+    from ..farm.cli import main as farm_main
+
+    return farm_main(list(argv))
+
+
 #: Subcommands with their own argument structure (dispatched before the
 #: experiment parser so ``repro table1 fig8a`` keeps working unchanged).
-OBS_COMMANDS = {"trace": cmd_trace, "metrics": cmd_metrics}
+OBS_COMMANDS = {"trace": cmd_trace, "metrics": cmd_metrics, "farm": cmd_farm}
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -5,6 +5,12 @@ returns structured rows; the benchmark harness in ``benchmarks/`` prints
 them.  ``scale`` shrinks iteration counts (and, proportionally, the
 one-time runtime-initialization costs, so the init/runtime ratio that
 drives the IS and EP results is preserved) — see EXPERIMENTS.md.
+
+Each figure/table decomposes into independent *points* — one
+``<family>_point`` call per row.  The sequential generators below are
+plain comprehensions over those point functions, and ``repro.farm``
+executes exactly the same point functions in isolated worker processes,
+so the two paths produce byte-identical rows (see docs/FARM.md).
 """
 
 from __future__ import annotations
@@ -51,53 +57,76 @@ def _synthetic_configs():
 # --- Table 1 -----------------------------------------------------------------
 
 
+#: Network models measured by Table 1, in row order.
+TABLE1_NETWORKS = ("gige", "myrinet", "infiniband", "qsnet", "bluegene_l")
+
+
+def table1_point(network: str, nodes: int, payload: int = 1 * MiB) -> dict:
+    """One Table 1 row: CaW latency + XaS bandwidth on one (network, n)."""
+    cluster = Cluster(ClusterSpec(n_nodes=nodes, model=by_name(network)))
+    core = BcsCore(cluster)
+
+    def caw():
+        t0 = cluster.env.now
+        yield from core.compare_and_write(
+            cluster.management_node.id, range(nodes), "x", "==", None
+        )
+        return cluster.env.now - t0
+
+    caw_ns = cluster.run(until=cluster.env.process(caw()))
+
+    def mcast():
+        t0 = cluster.env.now
+        core.xfer_and_signal(
+            cluster.management_node.id,
+            range(nodes),
+            size=payload,
+            local_event="done",
+        )
+        yield from core.test_event(cluster.management_node.id, "done")
+        return cluster.env.now - t0
+
+    mcast_ns = cluster.run(until=cluster.env.process(mcast()))
+    aggregate_mb_s = (payload * nodes) / (mcast_ns / 1e9) / 1e6
+    return {
+        "network": network,
+        "nodes": nodes,
+        "caw_us": to_us(caw_ns),
+        "xfer_aggregate_mb_s": aggregate_mb_s,
+        "xfer_mb_s_per_node": aggregate_mb_s / nodes,
+    }
+
+
 def table1_rows(
     node_counts: Sequence[int] = (2, 4, 8, 16, 32),
     payload: int = 1 * MiB,
 ) -> List[dict]:
     """Measured Compare-And-Write latency and Xfer-And-Signal aggregate
     bandwidth on every network model (Table 1)."""
-    rows = []
-    for model_name in ("gige", "myrinet", "infiniband", "qsnet", "bluegene_l"):
-        for n in node_counts:
-            cluster = Cluster(ClusterSpec(n_nodes=n, model=by_name(model_name)))
-            core = BcsCore(cluster)
-
-            def caw():
-                t0 = cluster.env.now
-                yield from core.compare_and_write(
-                    cluster.management_node.id, range(n), "x", "==", None
-                )
-                return cluster.env.now - t0
-
-            caw_ns = cluster.run(until=cluster.env.process(caw()))
-
-            def mcast():
-                t0 = cluster.env.now
-                core.xfer_and_signal(
-                    cluster.management_node.id,
-                    range(n),
-                    size=payload,
-                    local_event="done",
-                )
-                yield from core.test_event(cluster.management_node.id, "done")
-                return cluster.env.now - t0
-
-            mcast_ns = cluster.run(until=cluster.env.process(mcast()))
-            aggregate_mb_s = (payload * n) / (mcast_ns / 1e9) / 1e6
-            rows.append(
-                {
-                    "network": model_name,
-                    "nodes": n,
-                    "caw_us": to_us(caw_ns),
-                    "xfer_aggregate_mb_s": aggregate_mb_s,
-                    "xfer_mb_s_per_node": aggregate_mb_s / n,
-                }
-            )
-    return rows
+    return [
+        table1_point(model_name, n, payload)
+        for model_name in TABLE1_NETWORKS
+        for n in node_counts
+    ]
 
 
 # --- Figure 8 ---------------------------------------------------------------------
+
+
+def fig8a_point(
+    granularity_ms: float, n_ranks: int = FULL_MACHINE, iterations: int = 15
+) -> dict:
+    """One Fig 8a row: barrier slowdown at one granularity."""
+    bc, bl = _synthetic_configs()
+    comparison = compare_backends(
+        barrier_benchmark,
+        n_ranks,
+        params=dict(granularity=ms(granularity_ms), iterations=iterations),
+        bcs_config=bc,
+        baseline_config=bl,
+        name="barrier",
+    )
+    return _point("granularity_ms", granularity_ms, comparison)
 
 
 def fig8a_barrier_vs_granularity(
@@ -106,19 +135,23 @@ def fig8a_barrier_vs_granularity(
     iterations: int = 15,
 ) -> List[dict]:
     """Slowdown vs computation granularity; barrier benchmark (Fig 8a)."""
+    return [fig8a_point(g, n_ranks, iterations) for g in granularities_ms]
+
+
+def fig8b_point(
+    processes: int, granularity_ms: float = 10, iterations: int = 15
+) -> dict:
+    """One Fig 8b row: barrier slowdown at one process count."""
     bc, bl = _synthetic_configs()
-    rows = []
-    for g in granularities_ms:
-        comparison = compare_backends(
-            barrier_benchmark,
-            n_ranks,
-            params=dict(granularity=ms(g), iterations=iterations),
-            bcs_config=bc,
-            baseline_config=bl,
-            name="barrier",
-        )
-        rows.append(_point("granularity_ms", g, comparison))
-    return rows
+    comparison = compare_backends(
+        barrier_benchmark,
+        processes,
+        params=dict(granularity=ms(granularity_ms), iterations=iterations),
+        bcs_config=bc,
+        baseline_config=bl,
+        name="barrier",
+    )
+    return _point("processes", processes, comparison)
 
 
 def fig8b_barrier_vs_procs(
@@ -127,19 +160,28 @@ def fig8b_barrier_vs_procs(
     iterations: int = 15,
 ) -> List[dict]:
     """Slowdown vs process count; barrier benchmark, 10 ms (Fig 8b)."""
+    return [fig8b_point(p, granularity_ms, iterations) for p in proc_counts]
+
+
+def fig8c_point(
+    granularity_ms: float, n_ranks: int = FULL_MACHINE, iterations: int = 15
+) -> dict:
+    """One Fig 8c row: nearest-neighbour slowdown at one granularity."""
     bc, bl = _synthetic_configs()
-    rows = []
-    for p in proc_counts:
-        comparison = compare_backends(
-            barrier_benchmark,
-            p,
-            params=dict(granularity=ms(granularity_ms), iterations=iterations),
-            bcs_config=bc,
-            baseline_config=bl,
-            name="barrier",
-        )
-        rows.append(_point("processes", p, comparison))
-    return rows
+    comparison = compare_backends(
+        nearest_neighbor_benchmark,
+        n_ranks,
+        params=dict(
+            granularity=ms(granularity_ms),
+            iterations=iterations,
+            n_neighbors=4,
+            message_bytes=kib(4),
+        ),
+        bcs_config=bc,
+        baseline_config=bl,
+        name="p2p",
+    )
+    return _point("granularity_ms", granularity_ms, comparison)
 
 
 def fig8c_p2p_vs_granularity(
@@ -149,24 +191,28 @@ def fig8c_p2p_vs_granularity(
 ) -> List[dict]:
     """Slowdown vs granularity; nearest-neighbour benchmark, 4 neighbours,
     4 KB messages (Fig 8c)."""
+    return [fig8c_point(g, n_ranks, iterations) for g in granularities_ms]
+
+
+def fig8d_point(
+    processes: int, granularity_ms: float = 10, iterations: int = 15
+) -> dict:
+    """One Fig 8d row: nearest-neighbour slowdown at one process count."""
     bc, bl = _synthetic_configs()
-    rows = []
-    for g in granularities_ms:
-        comparison = compare_backends(
-            nearest_neighbor_benchmark,
-            n_ranks,
-            params=dict(
-                granularity=ms(g),
-                iterations=iterations,
-                n_neighbors=4,
-                message_bytes=kib(4),
-            ),
-            bcs_config=bc,
-            baseline_config=bl,
-            name="p2p",
-        )
-        rows.append(_point("granularity_ms", g, comparison))
-    return rows
+    comparison = compare_backends(
+        nearest_neighbor_benchmark,
+        processes,
+        params=dict(
+            granularity=ms(granularity_ms),
+            iterations=iterations,
+            n_neighbors=4,
+            message_bytes=kib(4),
+        ),
+        bcs_config=bc,
+        baseline_config=bl,
+        name="p2p",
+    )
+    return _point("processes", processes, comparison)
 
 
 def fig8d_p2p_vs_procs(
@@ -175,24 +221,7 @@ def fig8d_p2p_vs_procs(
     iterations: int = 15,
 ) -> List[dict]:
     """Slowdown vs process count; nearest-neighbour benchmark (Fig 8d)."""
-    bc, bl = _synthetic_configs()
-    rows = []
-    for p in proc_counts:
-        comparison = compare_backends(
-            nearest_neighbor_benchmark,
-            p,
-            params=dict(
-                granularity=ms(granularity_ms),
-                iterations=iterations,
-                n_neighbors=4,
-                message_bytes=kib(4),
-            ),
-            bcs_config=bc,
-            baseline_config=bl,
-            name="p2p",
-        )
-        rows.append(_point("processes", p, comparison))
-    return rows
+    return [fig8d_point(p, granularity_ms, iterations) for p in proc_counts]
 
 
 # --- Figure 9 / Table 2 ------------------------------------------------------------
@@ -301,28 +330,38 @@ def run_app_experiment(
     )
 
 
+def table2_point(
+    app: str,
+    n_ranks: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> dict:
+    """One Fig 9 / Table 2 row: one application vs the paper's number."""
+    comparison = run_app_experiment(app, n_ranks, scale)
+    return {
+        "app": app,
+        "baseline_s": comparison.baseline.runtime_s,
+        "bcs_s": comparison.bcs.runtime_s,
+        "slowdown_pct": comparison.slowdown_pct,
+        "paper_slowdown_pct": PAPER_TABLE2.get(app),
+    }
+
+
 def fig9_table2_rows(
     n_ranks: Optional[int] = None,
     scale: Optional[float] = None,
     apps: Optional[Sequence[str]] = None,
 ) -> List[dict]:
     """Runtimes + slowdowns for every application (Fig 9 and Table 2)."""
-    rows = []
-    for name in apps or APP_EXPERIMENTS:
-        comparison = run_app_experiment(name, n_ranks, scale)
-        rows.append(
-            {
-                "app": name,
-                "baseline_s": comparison.baseline.runtime_s,
-                "bcs_s": comparison.bcs.runtime_s,
-                "slowdown_pct": comparison.slowdown_pct,
-                "paper_slowdown_pct": PAPER_TABLE2.get(name),
-            }
-        )
-    return rows
+    return [table2_point(name, n_ranks, scale) for name in apps or APP_EXPERIMENTS]
 
 
 # --- Figure 10 -----------------------------------------------------------------------
+
+
+def fig10_point(processes: int, scale: Optional[float] = 0.02) -> dict:
+    """One Fig 10 row: SAGE at one process count."""
+    comparison = run_app_experiment("SAGE", processes, scale)
+    return _point("processes", processes, comparison)
 
 
 def fig10_sage_scaling(
@@ -330,14 +369,33 @@ def fig10_sage_scaling(
     scale: Optional[float] = 0.02,
 ) -> List[dict]:
     """SAGE runtime vs process count for both MPIs (Fig 10)."""
-    rows = []
-    for p in proc_counts:
-        comparison = run_app_experiment("SAGE", p, scale)
-        rows.append(_point("processes", p, comparison))
-    return rows
+    return [fig10_point(p, scale) for p in proc_counts]
 
 
 # --- Figure 11 ------------------------------------------------------------------------
+
+
+#: Fig 11 variants in row order.
+FIG11_VARIANTS = ("blocking", "nonblocking")
+
+
+def fig11_point(
+    processes: int, variant: str, octants: int = 4, kblocks: int = 4
+) -> dict:
+    """One Fig 11 row: SWEEP3D, one variant, one process count."""
+    app = {"blocking": sweep3d_blocking, "nonblocking": sweep3d_nonblocking}[variant]
+    bc, bl = _synthetic_configs()
+    comparison = compare_backends(
+        app,
+        processes,
+        params=dict(octants=octants, kblocks=kblocks),
+        bcs_config=bc,
+        baseline_config=bl,
+        name=f"sweep3d_{variant}",
+    )
+    row = _point("processes", processes, comparison)
+    row["variant"] = variant
+    return row
 
 
 def fig11_sweep3d(
@@ -346,28 +404,33 @@ def fig11_sweep3d(
     kblocks: int = 4,
 ) -> List[dict]:
     """SWEEP3D blocking (11a) and non-blocking (11b) vs process count."""
-    bc, bl = _synthetic_configs()
-    rows = []
-    for p in proc_counts:
-        for variant, app in (
-            ("blocking", sweep3d_blocking),
-            ("nonblocking", sweep3d_nonblocking),
-        ):
-            comparison = compare_backends(
-                app,
-                p,
-                params=dict(octants=octants, kblocks=kblocks),
-                bcs_config=bc,
-                baseline_config=bl,
-                name=f"sweep3d_{variant}",
-            )
-            row = _point("processes", p, comparison)
-            row["variant"] = variant
-            rows.append(row)
-    return rows
+    return [
+        fig11_point(p, variant, octants, kblocks)
+        for p in proc_counts
+        for variant in FIG11_VARIANTS
+    ]
 
 
 # --- Ablations (design-choice benches; DESIGN.md §6) -----------------------------------
+
+
+def ablation_timeslice_point(timeslice_us: float, n_ranks: int = 16) -> dict:
+    """One time-slice ablation row: ping-pong cost at one slice length."""
+    bc = BcsConfig(
+        init_cost=0,
+        timeslice=us(timeslice_us),
+        dem_min_duration=us(min(65, timeslice_us * 0.13)),
+        msm_min_duration=us(min(60, timeslice_us * 0.12)),
+    )
+    comparison = compare_backends(
+        sweep3d_blocking,
+        n_ranks,
+        params=dict(octants=2, kblocks=4),
+        bcs_config=bc,
+        baseline_config=BaselineConfig(init_cost=0),
+        name="timeslice",
+    )
+    return _point("timeslice_us", timeslice_us, comparison)
 
 
 def ablation_timeslice(
@@ -375,24 +438,33 @@ def ablation_timeslice(
     n_ranks: int = 16,
 ) -> List[dict]:
     """Blocking ping-pong cost vs time-slice length."""
-    rows = []
-    for ts in timeslices_us:
-        bc = BcsConfig(
-            init_cost=0,
-            timeslice=us(ts),
-            dem_min_duration=us(min(65, ts * 0.13)),
-            msm_min_duration=us(min(60, ts * 0.12)),
-        )
-        comparison = compare_backends(
-            sweep3d_blocking,
-            n_ranks,
-            params=dict(octants=2, kblocks=4),
-            bcs_config=bc,
-            baseline_config=BaselineConfig(init_cost=0),
-            name="timeslice",
-        )
-        rows.append(_point("timeslice_us", ts, comparison))
-    return rows
+    return [ablation_timeslice_point(ts, n_ranks) for ts in timeslices_us]
+
+
+#: Kernel-level ablation implementations in row order.
+KERNEL_IMPLEMENTATIONS = ("user-level", "kernel-level")
+
+
+def ablation_kernel_point(
+    implementation: str,
+    n_ranks: int = FULL_MACHINE,
+    granularity_ms: float = 10,
+    iterations: int = 15,
+) -> dict:
+    """One §4.5 ablation row: user-level or kernel-level BCS."""
+    bc = {
+        "user-level": BcsConfig(init_cost=0),
+        "kernel-level": BcsConfig.kernel_level(init_cost=0),
+    }[implementation]
+    comparison = compare_backends(
+        barrier_benchmark,
+        n_ranks,
+        params=dict(granularity=ms(granularity_ms), iterations=iterations),
+        bcs_config=bc,
+        baseline_config=BaselineConfig(init_cost=0),
+        name="kernel",
+    )
+    return _point("implementation", implementation, comparison)
 
 
 def ablation_kernel_level(
@@ -401,40 +473,29 @@ def ablation_kernel_level(
     iterations: int = 15,
 ) -> List[dict]:
     """User-level vs kernel-level BCS (§4.5): the NM tax disappears."""
-    rows = []
-    for label, bc in (
-        ("user-level", BcsConfig(init_cost=0)),
-        ("kernel-level", BcsConfig.kernel_level(init_cost=0)),
-    ):
-        comparison = compare_backends(
-            barrier_benchmark,
-            n_ranks,
-            params=dict(granularity=ms(granularity_ms), iterations=iterations),
-            bcs_config=bc,
-            baseline_config=BaselineConfig(init_cost=0),
-            name="kernel",
-        )
-        row = _point("implementation", label, comparison)
-        rows.append(row)
-    return rows
+    return [
+        ablation_kernel_point(label, n_ranks, granularity_ms, iterations)
+        for label in KERNEL_IMPLEMENTATIONS
+    ]
+
+
+def ablation_buffered_point(buffered: bool, n_ranks: int = 16) -> dict:
+    """One buffered-sends ablation row."""
+    bc = BcsConfig(init_cost=0, buffered_sends=buffered)
+    comparison = compare_backends(
+        sweep3d_blocking,
+        n_ranks,
+        params=dict(octants=2, kblocks=4),
+        bcs_config=bc,
+        baseline_config=BaselineConfig(init_cost=0),
+        name="buffered",
+    )
+    return _point("buffered_sends", buffered, comparison)
 
 
 def ablation_buffered_sends(n_ranks: int = 16) -> List[dict]:
     """Buffered vs strict blocking-send completion (the B in BCS)."""
-    rows = []
-    for buffered in (True, False):
-        bc = BcsConfig(init_cost=0, buffered_sends=buffered)
-        comparison = compare_backends(
-            sweep3d_blocking,
-            n_ranks,
-            params=dict(octants=2, kblocks=4),
-            bcs_config=bc,
-            baseline_config=BaselineConfig(init_cost=0),
-            name="buffered",
-        )
-        row = _point("buffered_sends", buffered, comparison)
-        rows.append(row)
-    return rows
+    return [ablation_buffered_point(buffered, n_ranks) for buffered in (True, False)]
 
 
 def _point(x_name: str, x, comparison: Comparison) -> dict:

@@ -1,0 +1,38 @@
+"""Cross-process determinism: a farm child reproduces in-process rows.
+
+One representative (cheapest) point per experiment family runs both
+in-process and through a spawned farm worker; the row dicts must be
+identical down to key order and float bits (the simulator is
+deterministic, virtual timestamps included).  This is the invariant the
+result cache and the byte-identical-tables guarantee rest on.
+"""
+
+import json
+
+import pytest
+
+from repro.farm.points import FIGURE_FAMILIES, execute_point, expand_family
+from repro.farm.pool import WorkerPool
+
+pytestmark = pytest.mark.farm_subprocess
+
+
+def _representatives():
+    # First point of each family's reduced (smoke) sweep: cheap but still
+    # one real simulation per family.
+    return [expand_family(name, "smoke")[0] for name in FIGURE_FAMILIES]
+
+
+def test_farm_child_rows_match_in_process_rows():
+    specs = _representatives()
+    in_process = [execute_point(s.family, s.params_dict) for s in specs]
+
+    outcomes = WorkerPool(jobs=2, timeout_s=300).run(specs)
+    assert [o.status for o in outcomes] == ["ok"] * len(specs)
+
+    for spec, expected, outcome in zip(specs, in_process, outcomes):
+        assert outcome.row == expected, spec.family
+        # byte-identical, not merely ==: key order and float repr agree
+        assert json.dumps(outcome.row, sort_keys=False) == json.dumps(
+            expected, sort_keys=False
+        ), spec.family

@@ -1,0 +1,116 @@
+"""Point registry: expansion order, hashing, JSON-safety, execution."""
+
+import json
+
+import pytest
+
+from repro.farm.points import (
+    FAMILIES,
+    FIGURE_FAMILIES,
+    PointSpec,
+    execute_point,
+    expand_family,
+    family_specs,
+)
+
+#: Expected paper-preset point counts (must track the sequential
+#: generators' default sweeps).
+EXPECTED_COUNTS = {
+    "table1": 25,  # 5 networks x 5 node counts
+    "fig8a": 6,
+    "fig8b": 6,
+    "fig8c": 6,
+    "fig8d": 6,
+    "table2": 7,  # SAGE SWEEP3D IS EP MG CG LU
+    "fig10": 5,
+    "fig11": 10,  # 5 proc counts x 2 variants
+    "ablation_timeslice": 5,
+    "ablation_buffered": 2,
+    "ablation_kernel": 2,
+}
+
+
+def test_every_figure_family_registered():
+    assert set(EXPECTED_COUNTS) == set(FIGURE_FAMILIES)
+    for name in FIGURE_FAMILIES:
+        assert name in FAMILIES
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_COUNTS))
+def test_paper_expansion_counts(name):
+    specs = expand_family(name, "paper")
+    assert len(specs) == EXPECTED_COUNTS[name]
+    assert [s.index for s in specs] == list(range(len(specs)))
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+@pytest.mark.parametrize("preset", ["paper", "smoke"])
+def test_params_are_json_safe(name, preset):
+    for spec in expand_family(name, preset):
+        decoded = json.loads(json.dumps(spec.params_dict))
+        assert decoded == spec.params_dict
+
+
+def test_smoke_preset_is_smaller():
+    paper = sum(len(expand_family(n, "paper")) for n in FIGURE_FAMILIES)
+    smoke = sum(len(expand_family(n, "smoke")) for n in FIGURE_FAMILIES)
+    assert smoke < paper
+
+
+def test_point_hash_is_stable_and_param_sensitive():
+    a1 = expand_family("fig8a", "paper")[0]
+    a2 = expand_family("fig8a", "paper")[0]
+    b = expand_family("fig8a", "paper")[1]
+    assert a1.point_hash() == a2.point_hash()
+    assert a1.point_hash() != b.point_hash()
+    # same params under a different family hash differently
+    other = PointSpec("fig8c", 0, a1.params)
+    assert other.point_hash() != a1.point_hash()
+
+
+def test_hash_ignores_row_index():
+    spec = expand_family("table1", "paper")[3]
+    moved = PointSpec(spec.family, 99, spec.params)
+    assert moved.point_hash() == spec.point_hash()
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError, match="unknown family"):
+        family_specs(["fig99"])
+    with pytest.raises(ValueError, match="unknown point family"):
+        execute_point("fig99", {})
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="unknown preset"):
+        expand_family("table1", "huge")
+
+
+def test_empty_family_list_expands_nothing():
+    assert family_specs([]) == {}
+
+
+def test_selftest_execute_ok():
+    row = execute_point("selftest", {"mode": "ok", "value": 21})
+    assert row == {"mode": "ok", "value": 21, "doubled": 42}
+
+
+def test_selftest_execute_error():
+    with pytest.raises(RuntimeError, match="injected point failure"):
+        execute_point("selftest", {"mode": "error", "value": 1})
+
+
+def test_execute_point_matches_sequential_generator():
+    # The cheapest real family: one Table 1 point vs the generator's row.
+    from repro.harness.experiments import table1_rows
+
+    spec = expand_family("table1", "smoke")[0]
+    row = execute_point(spec.family, spec.params_dict)
+    assert row == table1_rows(node_counts=(2,))[0]
+
+
+def test_titles_match_harness_cli():
+    # Farm tables must print under the same titles the sequential CLI uses.
+    assert FAMILIES["table1"].title == "Table 1: BCS core mechanisms across networks"
+    assert FAMILIES["table2"].title == "Fig 9 / Table 2: applications"
+    assert FAMILIES["ablation_kernel"].title == "Ablation: kernel-level BCS"

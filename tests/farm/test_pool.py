@@ -1,0 +1,85 @@
+"""Worker pool: isolation, timeouts, retries, crash containment.
+
+These tests spawn real child interpreters, so they use only the cheap
+``selftest`` family and short timeouts.
+"""
+
+import pytest
+
+from repro.farm.points import expand_family
+from repro.farm.pool import WorkerPool
+
+pytestmark = pytest.mark.farm_subprocess
+
+
+def _selftest_specs(*modes):
+    return expand_family("selftest", "paper", {"modes": modes})
+
+
+def test_ok_points_return_rows_in_input_order():
+    outcomes = WorkerPool(jobs=2, timeout_s=60).run(_selftest_specs("ok", "ok", "ok"))
+    assert [o.status for o in outcomes] == ["ok"] * 3
+    assert [o.row["value"] for o in outcomes] == [0, 1, 2]
+    assert [o.row["doubled"] for o in outcomes] == [0, 2, 4]
+    assert all(o.attempts == 1 for o in outcomes)
+    assert all(not o.cached for o in outcomes)
+
+
+def test_hanging_point_times_out_retries_and_does_not_stall_others():
+    outcomes = WorkerPool(jobs=2, timeout_s=1.0, retries=1).run(
+        _selftest_specs("ok", "hang", "ok")
+    )
+    ok0, hung, ok2 = outcomes
+    assert ok0.ok and ok2.ok
+    assert hung.status == "failed"
+    assert hung.attempts == 2  # first try + one retry
+    assert "timed out" in hung.error
+
+
+def test_crashing_point_is_contained():
+    outcomes = WorkerPool(jobs=2, timeout_s=30, retries=1).run(
+        _selftest_specs("ok", "crash")
+    )
+    ok, crashed = outcomes
+    assert ok.ok
+    assert crashed.status == "failed"
+    assert crashed.attempts == 2
+    assert "exited without a result" in crashed.error
+
+
+def test_deterministic_error_is_not_retried():
+    outcomes = WorkerPool(jobs=1, timeout_s=30, retries=3).run(
+        _selftest_specs("error")
+    )
+    (failed,) = outcomes
+    assert failed.status == "failed"
+    assert failed.attempts == 1  # errors are deterministic: no retry
+    assert "RuntimeError: injected point failure" in failed.error
+
+
+def test_zero_retries_fails_fast():
+    outcomes = WorkerPool(jobs=1, timeout_s=1.0, retries=0).run(
+        _selftest_specs("hang")
+    )
+    assert outcomes[0].status == "failed"
+    assert outcomes[0].attempts == 1
+
+
+def test_events_are_emitted():
+    events = []
+    WorkerPool(jobs=1, timeout_s=1.0, retries=1).run(
+        _selftest_specs("ok", "hang"),
+        on_event=lambda kind, info: events.append(kind),
+    )
+    assert events.count("done") == 2
+    assert events.count("retry") == 1
+    assert events.count("start") == 3  # 2 firsts + 1 retry
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        WorkerPool(jobs=0)
+    with pytest.raises(ValueError):
+        WorkerPool(timeout_s=0)
+    with pytest.raises(ValueError):
+        WorkerPool(retries=-1)

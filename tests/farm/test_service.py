@@ -1,0 +1,115 @@
+"""Farm orchestration: caching, aggregation, metrics, failure reporting."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.farm.points import expand_family
+from repro.farm.service import run_farm
+from repro.farm.store import ResultStore
+
+pytestmark = pytest.mark.farm_subprocess
+
+
+def _run(tmp_path, **kw):
+    kw.setdefault("store", ResultStore(tmp_path / "store"))
+    kw.setdefault("jobs", 2)
+    kw.setdefault("progress", False)
+    return kw["store"], run_farm(**kw)
+
+
+def test_first_run_executes_second_run_is_fully_cached(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    first = run_farm(
+        families=["selftest"], store=store, jobs=2, progress=False
+    )
+    assert first.ok
+    assert first.n_executed == first.n_points > 0
+    assert first.n_cached == 0
+
+    second = run_farm(
+        families=["selftest"], store=store, jobs=2, progress=False
+    )
+    assert second.ok
+    assert second.n_executed == 0
+    assert second.n_cached == second.n_points == first.n_points
+    assert [f.rows for f in second.families] == [f.rows for f in first.families]
+    # cache hits are visible in the registry, labeled by family
+    hits = second.registry.counter("farm.cache.hits", family="selftest")
+    assert hits.value == second.n_points
+
+
+def test_no_cache_forces_re_execution(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    again = run_farm(
+        families=["selftest"], store=store, jobs=1, use_cache=False, progress=False
+    )
+    assert again.n_cached == 0
+    assert again.n_executed == again.n_points
+
+
+def test_failed_points_are_reported_not_cached_and_do_not_stall(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    report = run_farm(
+        families=[],
+        extra_specs=expand_family("selftest", "paper", {"modes": ("ok", "hang", "ok")}),
+        store=store,
+        jobs=2,
+        timeout_s=1.0,
+        retries=1,
+        progress=False,
+    )
+    assert not report.ok
+    assert report.n_failed == 1
+    assert report.n_retried == 1
+    (family,) = report.families
+    assert not family.complete
+    assert [r["value"] for r in family.rows] == [0, 2]  # the ok points landed
+    (failure,) = report.failures()
+    assert failure.attempts == 2
+    assert "timed out" in failure.error
+    # failures are never cached: only the 2 ok rows are stored
+    assert store.count() == 2
+    # ... and the farm counters expose the failure/retry summary by family
+    reg = report.registry
+    assert reg.counter("farm.points.failed", family="selftest").value == 1
+    assert reg.counter("farm.points.retried", family="selftest").value == 1
+    assert reg.counter("farm.points.completed", family="selftest").value == 2
+
+
+def test_metrics_registry_is_populated(tmp_path):
+    registry = MetricsRegistry()
+    store = ResultStore(tmp_path / "store")
+    report = run_farm(
+        families=["selftest"],
+        store=store,
+        jobs=2,
+        registry=registry,
+        progress=False,
+    )
+    assert report.registry is registry
+    assert registry.counter("farm.runs").value == 1
+    total = registry.counter("farm.points.total", family="selftest")
+    assert total.value == report.n_points
+    hist = registry.histogram("farm.point.duration_ms", family="selftest")
+    assert hist.count == report.n_points
+    assert registry.gauge("farm.queue.depth").value == 0  # drained
+
+
+def test_last_run_summary_is_persisted(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    report = run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    last = store.load_last_run()
+    assert last["points"] == report.n_points
+    assert last["failed"] == 0
+    assert last["families"]["selftest"]["ok"] == report.n_points
+    assert "farm.points.completed" in last["metrics"]
+    assert "farm.points.completed" in last["metrics_render"]
+
+
+def test_cached_rows_preserve_key_order(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    first = run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    second = run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    for fresh, cached in zip(first.families[0].rows, second.families[0].rows):
+        assert list(fresh) == list(cached)  # key order, not just equality

@@ -1,0 +1,98 @@
+"""Result store and code fingerprint."""
+
+import json
+
+from repro.farm.fingerprint import code_fingerprint, result_key
+from repro.farm.store import ResultStore
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    record = {"family": "selftest", "params": {"value": 1}, "row": {"x": 1.5}}
+    store.put("ab" * 32, record)
+    got = store.get("ab" * 32)
+    assert got["row"] == {"x": 1.5}
+    assert got["key"] == "ab" * 32
+    assert store.count() == 1
+
+
+def test_get_missing_is_none(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    assert store.get("cd" * 32) is None
+
+
+def test_corrupt_record_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    key = "ef" * 32
+    store.put(key, {"row": {"x": 1}})
+    path = store._object_path(key)
+    path.write_text("{not json")
+    assert store.get(key) is None
+    path.write_text(json.dumps({"no_row_field": True}))
+    assert store.get(key) is None
+
+
+def test_key_mismatch_is_a_miss(tmp_path):
+    # A record copied under the wrong name must not be served.
+    store = ResultStore(tmp_path / "store")
+    key, other = "11" * 32, "22" * 32
+    store.put(key, {"row": {"x": 1}})
+    target = store._object_path(other)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(store._object_path(key).read_text())
+    assert store.get(other) is None
+
+
+def test_row_key_order_survives_roundtrip(tmp_path):
+    # Byte-identical replay depends on dict order surviving the store.
+    store = ResultStore(tmp_path / "store")
+    row = {"zeta": 1, "alpha": 2, "mid": 3}
+    store.put("aa" * 32, {"row": row})
+    assert list(store.get("aa" * 32)["row"]) == ["zeta", "alpha", "mid"]
+
+
+def test_clear(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    for i in range(5):
+        store.put(f"{i:02d}" + "00" * 31, {"row": {"i": i}})
+    assert store.count() == 5
+    assert store.clear() == 5
+    assert store.count() == 0
+
+
+def test_last_run_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    assert store.load_last_run() is None
+    store.save_last_run({"points": 3, "failed": 0})
+    assert store.load_last_run() == {"points": 3, "failed": 0}
+
+
+def test_fingerprint_stable_and_content_sensitive(tmp_path):
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    (tree / "a.py").write_text("x = 1\n")
+    (tree / "sub").mkdir()
+    (tree / "sub" / "b.py").write_text("y = 2\n")
+    first = code_fingerprint(tree)
+    assert code_fingerprint(tree) == first
+    (tree / "sub" / "b.py").write_text("y = 3\n")
+    assert code_fingerprint(tree) != first
+
+
+def test_fingerprint_sees_new_files(tmp_path):
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    (tree / "a.py").write_text("x = 1\n")
+    first = code_fingerprint(tree)
+    (tree / "new.py").write_text("")
+    assert code_fingerprint(tree) != first
+
+
+def test_default_fingerprint_memoized():
+    assert code_fingerprint() == code_fingerprint()
+
+
+def test_result_key_mixes_fingerprint_and_point():
+    assert result_key("f1", "p1") != result_key("f2", "p1")
+    assert result_key("f1", "p1") != result_key("f1", "p2")
+    assert result_key("f1", "p1") == result_key("f1", "p1")

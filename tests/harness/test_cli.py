@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.harness import cli
 from repro.harness.cli import COMMANDS, build_parser, main
 
 
@@ -63,3 +64,93 @@ def test_save_writes_json(tmp_path, capsys):
     assert len(data) == 1
     rows = next(iter(data.values()))
     assert rows and "caw_us" in rows[0]
+
+
+# --- smoke coverage: every registered command on a tiny configuration --------
+
+#: flags shrinking every experiment to a few-rank, aggressively scaled run.
+TINY = ["--ranks", "4", "--procs", "2", "4", "--scale", "0.02", "--apps", "EP"]
+
+
+@pytest.mark.parametrize("name", sorted(COMMANDS))
+def test_every_command_smokes_on_tiny_config(name, capsys):
+    assert main([name] + TINY) == 0
+    out = capsys.readouterr().out
+    assert "(no rows)" not in out
+    assert "==" in out  # at least one titled table printed
+    for title, rows in cli._collected.items():
+        assert rows, f"{name} printed an empty table: {title}"
+
+
+# --- farm subcommand family --------------------------------------------------
+
+
+def test_farm_list(capsys):
+    assert main(["farm", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "points total" in out
+
+
+def test_farm_rejects_unknown_family(tmp_path, capsys):
+    assert main(["farm", "figures", "fig99", "--store", str(tmp_path)]) == 2
+    assert "unknown family" in capsys.readouterr().err
+
+
+@pytest.mark.farm_subprocess
+def test_farm_figures_runs_caches_and_expects_cached(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    argv = ["farm", "figures", "table1", "--preset", "smoke", "-j", "2",
+            "--store", store, "--no-progress"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "Table 1: BCS core mechanisms across networks" in first
+    assert "0 cached" in first
+
+    # second run: pure cache replay, byte-identical table
+    assert main(argv + ["--expect-cached"]) == 0
+    second = capsys.readouterr().out
+    assert "0 executed" in second
+    table = lambda text: [l for l in text.splitlines() if l.startswith(("gige", "qsnet"))]
+    assert table(first) == table(second)
+
+    # --no-cache forces execution, so --expect-cached now fails
+    assert main(argv + ["--expect-cached", "--no-cache"]) == 3
+
+
+@pytest.mark.farm_subprocess
+def test_farm_save_and_metrics(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    saved = tmp_path / "rows.json"
+    argv = [
+        "farm", "figures", "table1", "--preset", "smoke", "-j", "1",
+        "--store", store, "--no-progress", "--save", str(saved), "--metrics",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "farm metrics" in out
+    assert "farm.points.completed" in out
+
+    import json
+
+    data = json.loads(saved.read_text())
+    rows = data["Table 1: BCS core mechanisms across networks"]
+    assert rows and "caw_us" in rows[0]
+
+    assert main(["farm", "metrics", "--store", store]) == 0
+    assert "last farm run" in capsys.readouterr().out
+
+
+def test_farm_metrics_without_run_fails_cleanly(tmp_path, capsys):
+    assert main(["farm", "metrics", "--store", str(tmp_path / "empty")]) == 1
+    assert "no farm run" in capsys.readouterr().err
+
+
+@pytest.mark.farm_subprocess
+def test_farm_clean(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["farm", "figures", "table1", "--preset", "smoke", "-j", "1",
+                 "--store", store, "--no-progress"]) == 0
+    capsys.readouterr()
+    assert main(["farm", "clean", "--store", store]) == 0
+    assert "removed 10" in capsys.readouterr().out
