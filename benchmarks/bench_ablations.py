@@ -10,20 +10,17 @@ Not figures from the paper — these quantify the knobs the paper fixes:
 
 import pytest
 
-from repro.apps import barrier_benchmark, sweep3d_blocking
+from repro.apps import sweep3d_blocking
 from repro.bcs import BcsConfig, BcsRuntime
-from repro.harness import run_workload
 from repro.harness.experiments import (
     ablation_buffered_sends,
     ablation_kernel_level,
     ablation_timeslice,
 )
+from repro.harness.extensions import NOISE_SCENARIOS, ext_noise_point
 from repro.harness.report import print_table
-from repro.mpi.baseline import BaselineConfig
 from repro.network import Cluster, ClusterSpec
-from repro.noise import NoiseConfig
 from repro.storm import GangScheduler, JobSpec
-from repro.units import ms
 
 
 def test_ablation_timeslice(benchmark):
@@ -112,28 +109,12 @@ def test_ablation_gang_scheduling(benchmark):
 
 
 def _noise_runs():
-    params = dict(granularity=ms(2), iterations=30, jitter=0.0)
-
-    def run(coordinated):
-        return run_workload(
-            barrier_benchmark,
-            32,
-            "baseline",
-            params=params,
-            baseline_config=BaselineConfig(init_cost=0),
-            noise=NoiseConfig(period=ms(20), duration=ms(2), coordinated=coordinated),
-            seed=7,
-        ).runtime_ns
-
-    quiet = run_workload(
-        barrier_benchmark,
-        32,
-        "baseline",
-        params=params,
-        baseline_config=BaselineConfig(init_cost=0),
-        seed=7,
-    ).runtime_ns
-    return quiet, run(False), run(True)
+    # The same study function the farm's ext_noise family executes.
+    runs = {
+        scenario: ext_noise_point(scenario)["runtime_s"] * 1e9
+        for scenario in NOISE_SCENARIOS
+    }
+    return runs["quiet"], runs["uncoordinated"], runs["coordinated"]
 
 
 def test_ablation_noise_coordination(benchmark):

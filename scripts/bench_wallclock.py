@@ -11,15 +11,20 @@ Every pair asserts that the *virtual* runtime is byte-identical — the
 optimizations must never change simulated time — and reports the
 wall-clock speedup.
 
-Results are normalized by a spin-loop calibration so the committed
-baseline (``BENCH_simperf.json``) transfers across machines: the gate
-compares ``wall / calibration`` ratios, not raw seconds.
+Results are normalized by a spin-loop calibration
+(:mod:`repro.obs.trends.calibrate`) so recorded numbers transfer across
+machines: every comparison uses ``wall / calibration`` ratios, not raw
+seconds.  Cross-run regression tracking lives in the trend store
+(``--trend-store`` + ``repro trend check`` — see docs/TRENDS.md); the
+committed ``BENCH_simperf.json`` snapshot seeds that store's day-one
+history.
 
 Usage:
     scripts/bench_wallclock.py             # full suite, print report
     scripts/bench_wallclock.py --quick     # smaller workloads (CI)
-    scripts/bench_wallclock.py --quick --update   # rewrite the baseline
-    scripts/bench_wallclock.py --quick --check    # gate against baseline
+    scripts/bench_wallclock.py --quick --update   # rewrite BENCH_simperf.json
+    scripts/bench_wallclock.py --quick --check    # gate on speedup floors
+    scripts/bench_wallclock.py --quick --trend-store .trend-store
 """
 
 from __future__ import annotations
@@ -40,13 +45,12 @@ from repro.apps.sweep3d import sweep3d_blocking  # noqa: E402
 from repro.apps.synthetic import barrier_benchmark  # noqa: E402
 from repro.bcs import BcsConfig  # noqa: E402
 from repro.harness.runner import run_workload  # noqa: E402
+from repro.obs.trends.calibrate import Calibration  # noqa: E402
 from repro.units import ms, seconds  # noqa: E402
 
 BASELINE_PATH = REPO / "BENCH_simperf.json"
 SCHEMA = 1
 
-#: Wall-clock regression tolerance against the committed baseline.
-REGRESSION_TOLERANCE = 0.20
 #: Required fast-forward speedup on the idle-heavy macro replay.
 MACRO_MIN_SPEEDUP = 2.0
 #: Dense micro benchmarks must not get slower than this factor.
@@ -94,27 +98,6 @@ def benchmarks(quick: bool):
             dict(init_cost=0),
         ),
     ]
-
-
-class Calibration:
-    """Machine speed probe: a fixed pure-Python spin loop.
-
-    Sampled repeatedly, interleaved with the benchmarks, keeping the
-    minimum — the best estimate of unloaded interpreter speed even when
-    background load comes in bursts.
-    """
-
-    def __init__(self):
-        self.best = math.inf
-        self.sample()
-
-    def sample(self) -> None:
-        for _ in range(3):
-            t0 = time.perf_counter()
-            acc = 0
-            for i in range(2_000_000):
-                acc += i & 1023
-            self.best = min(self.best, time.perf_counter() - t0)
 
 
 def run_case(app, n_ranks, params, cfg_kwargs, reps: int):
@@ -179,7 +162,13 @@ def run_suite(quick: bool) -> dict:
 
 
 def check(report: dict) -> int:
-    """Gate: speedup floors + normalized regression vs the baseline."""
+    """Gate: the optimizations must actually pay for themselves.
+
+    Speedup floors only.  Cross-run wall-clock regression tracking
+    moved to the trend store (``--trend-store`` + ``repro trend
+    check``), which judges against the *distribution* of recent runs
+    instead of one committed snapshot.
+    """
     failures = []
     macro_speedups = {}
     for name, rec in report["benchmarks"].items():
@@ -196,35 +185,6 @@ def check(report: dict) -> int:
             f"speedup: {macro_speedups}"
         )
 
-    if not BASELINE_PATH.exists():
-        failures.append(f"missing baseline {BASELINE_PATH}; run with --update")
-    else:
-        baseline = json.loads(BASELINE_PATH.read_text())
-        if baseline.get("quick") != report["quick"]:
-            failures.append(
-                "baseline was recorded in a different mode "
-                f"(baseline quick={baseline.get('quick')}, "
-                f"run quick={report['quick']})"
-            )
-        else:
-            for name, rec in report["benchmarks"].items():
-                ref = baseline.get("benchmarks", {}).get(name)
-                if ref is None:
-                    failures.append(f"{name}: not present in baseline")
-                    continue
-                limit = ref["normalized"] * (1.0 + REGRESSION_TOLERANCE)
-                if rec["normalized"] > limit:
-                    failures.append(
-                        f"{name}: normalized wall-clock {rec['normalized']:.3f} "
-                        f"exceeds baseline {ref['normalized']:.3f} "
-                        f"+{REGRESSION_TOLERANCE:.0%}"
-                    )
-                if rec["virtual_ns"] != ref["virtual_ns"]:
-                    failures.append(
-                        f"{name}: virtual runtime changed "
-                        f"({rec['virtual_ns']} vs baseline {ref['virtual_ns']})"
-                    )
-
     if failures:
         print("\nBENCH GATE FAILED:")
         for f in failures:
@@ -234,23 +194,43 @@ def check(report: dict) -> int:
     return 0
 
 
+def record_trends(report: dict, store_path: Path) -> None:
+    """Append this report's series to the cross-run trend store."""
+    from repro.obs.trends import TrendStore
+    from repro.obs.trends.record import record_bench_report
+
+    meta, rows = record_bench_report(TrendStore(store_path), report)
+    print(f"trend store: recorded run {meta.run_id} ({rows} series rows)")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small workloads (CI)")
     parser.add_argument(
-        "--update", action="store_true", help=f"rewrite {BASELINE_PATH.name}"
+        "--update",
+        action="store_true",
+        help=f"rewrite {BASELINE_PATH.name} (the trend store's seed baseline)",
     )
     parser.add_argument(
-        "--check", action="store_true", help="fail on regression vs the baseline"
+        "--check", action="store_true", help="fail when a speedup floor is missed"
     )
     parser.add_argument(
         "--output", type=Path, default=None, help="also write the report here"
+    )
+    parser.add_argument(
+        "--trend-store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append the report to this cross-run trend store (docs/TRENDS.md)",
     )
     args = parser.parse_args()
 
     report = run_suite(args.quick)
     if args.output is not None:
         args.output.write_text(json.dumps(report, indent=2) + "\n")
+    if args.trend_store is not None:
+        record_trends(report, args.trend_store)
     if args.update:
         BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")

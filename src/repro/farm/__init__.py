@@ -14,13 +14,22 @@ docs/FARM.md):
 - :mod:`~repro.farm.cli` — the ``repro farm`` subcommand family.
 """
 
-from .fingerprint import code_fingerprint, result_key
-from .points import FAMILIES, FIGURE_FAMILIES, Family, PointSpec, execute_point, expand_family
+from .fingerprint import code_fingerprint, git_sha, result_key
+from .points import (
+    EXTENSION_FAMILIES,
+    FAMILIES,
+    FIGURE_FAMILIES,
+    Family,
+    PointSpec,
+    execute_point,
+    expand_family,
+)
 from .pool import PointOutcome, WorkerPool
 from .service import FamilyResult, FarmReport, run_farm
 from .store import ResultStore
 
 __all__ = [
+    "EXTENSION_FAMILIES",
     "FAMILIES",
     "FIGURE_FAMILIES",
     "Family",
@@ -33,6 +42,7 @@ __all__ = [
     "code_fingerprint",
     "execute_point",
     "expand_family",
+    "git_sha",
     "result_key",
     "run_farm",
 ]

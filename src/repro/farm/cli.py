@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..harness.report import print_table
-from .points import FAMILIES, FIGURE_FAMILIES, PRESETS
+from .points import EXTENSION_FAMILIES, FAMILIES, FIGURE_FAMILIES, PRESETS
 from .service import FarmReport, run_farm
 from .store import ResultStore, default_store_path
 
@@ -62,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument(
         "--store", metavar="PATH", default=None, help="result store directory"
+    )
+    figures.add_argument(
+        "--extensions",
+        action="store_true",
+        help=f"also run the extension families ({', '.join(EXTENSION_FAMILIES)})",
+    )
+    figures.add_argument(
+        "--trend-store",
+        metavar="PATH",
+        default=None,
+        help="append this run's per-family durations to a cross-run trend "
+        "store (see docs/TRENDS.md; REPRO_TREND_RECORD=1 enables the default store)",
     )
     figures.add_argument(
         "--timeout",
@@ -142,11 +154,21 @@ def _print_failures(report: FarmReport) -> None:
 
 def cmd_figures(args) -> int:
     wanted = list(args.families) or list(FIGURE_FAMILIES)
+    if args.extensions:
+        wanted += [f for f in EXTENSION_FAMILIES if f not in wanted]
     unknown = [f for f in wanted if f not in FAMILIES]
     if unknown:
         print(f"unknown family(ies): {', '.join(unknown)}", file=sys.stderr)
-        print(f"choose from: {', '.join(FIGURE_FAMILIES)}", file=sys.stderr)
+        print(
+            f"choose from: {', '.join(FIGURE_FAMILIES + EXTENSION_FAMILIES)}",
+            file=sys.stderr,
+        )
         return 2
+    trend_store = None
+    if args.trend_store:
+        from ..obs.trends import TrendStore
+
+        trend_store = TrendStore(Path(args.trend_store))
     report = run_farm(
         families=wanted,
         preset=args.preset,
@@ -156,6 +178,7 @@ def cmd_figures(args) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         progress=not args.no_progress,
+        trend_store=trend_store,
     )
     _print_report_tables(report, args.save)
     if args.metrics:
@@ -175,7 +198,7 @@ def cmd_figures(args) -> int:
 
 def cmd_list(args) -> int:
     rows = []
-    for name in FIGURE_FAMILIES:
+    for name in FIGURE_FAMILIES + EXTENSION_FAMILIES:
         specs = FAMILIES[name].specs(
             FAMILIES[name].smoke if args.preset == "smoke" else None
         )

@@ -12,9 +12,10 @@ import hashlib
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["code_fingerprint", "result_key"]
+__all__ = ["code_fingerprint", "git_sha", "result_key"]
 
 _cached: Optional[str] = None
+_sha_cached: Optional[str] = None
 
 
 def code_fingerprint(root: Optional[Path] = None) -> str:
@@ -42,6 +43,35 @@ def code_fingerprint(root: Optional[Path] = None) -> str:
     if root is None:
         _cached = value
     return value
+
+
+def git_sha() -> str:
+    """HEAD commit of the checkout the ``repro`` package runs from.
+
+    ``"unknown"`` outside a git checkout (installed wheel, exported
+    tarball) — provenance fields must never fail a run.  Memoized: the
+    HEAD cannot move under a running process in a way we care about.
+    """
+    global _sha_cached
+    if _sha_cached is not None:
+        return _sha_cached
+    import subprocess
+
+    import repro
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(repro.__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        value = out.stdout.strip() if out.returncode == 0 else ""
+    except (OSError, subprocess.SubprocessError):
+        value = ""
+    _sha_cached = value or "unknown"
+    return _sha_cached
 
 
 def result_key(fingerprint: str, point_hash: str) -> str:

@@ -30,9 +30,11 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..harness import experiments as E
+from ..harness import extensions as X
 from ..units import MiB
 
 __all__ = [
+    "EXTENSION_FAMILIES",
     "FAMILIES",
     "FIGURE_FAMILIES",
     "Family",
@@ -198,6 +200,60 @@ def _expand_ablation_kernel(
     ]
 
 
+# --- extension families (beyond the paper's evaluation) ----------------------
+
+
+def _expand_ext_ft(
+    rank_counts: Sequence[int] = (32,),
+    iterations: int = 3,
+    grid_points: int = 256,
+) -> List[dict]:
+    return [
+        dict(n_ranks=n, iterations=iterations, grid_points=grid_points)
+        for n in rank_counts
+    ]
+
+
+def _expand_ext_pfs_qos(
+    schedulers: Sequence[str] = X.PFS_SCHEDULERS,
+    n_ranks: int = 16,
+    pfs_files: int = 24,
+    pfs_file_kib: int = 4096,
+    granularity_ms: float = 3,
+    iterations: int = 12,
+) -> List[dict]:
+    return [
+        dict(
+            scheduler=s,
+            with_pfs=w,
+            n_ranks=n_ranks,
+            pfs_files=pfs_files,
+            pfs_file_kib=pfs_file_kib,
+            granularity_ms=granularity_ms,
+            iterations=iterations,
+        )
+        for s in schedulers
+        for w in (False, True)
+    ]
+
+
+def _expand_ext_noise(
+    scenarios: Sequence[str] = X.NOISE_SCENARIOS,
+    n_ranks: int = 32,
+    granularity_ms: float = 2,
+    iterations: int = 30,
+) -> List[dict]:
+    return [
+        dict(
+            scenario=s,
+            n_ranks=n_ranks,
+            granularity_ms=granularity_ms,
+            iterations=iterations,
+        )
+        for s in scenarios
+    ]
+
+
 # --- selftest family (test hook: controllable success/hang/crash) -----------
 
 
@@ -237,6 +293,12 @@ FIGURE_FAMILIES: Tuple[str, ...] = (
     "ablation_buffered",
     "ablation_kernel",
 )
+
+#: Extension studies beyond the paper's evaluation (FT, PFS QoS, noise
+#: coordination — see :mod:`repro.harness.extensions`).  Not part of the
+#: default ``repro farm figures`` set; run them by name or with
+#: ``--extensions``.
+EXTENSION_FAMILIES: Tuple[str, ...] = ("ext_ft", "ext_pfs_qos", "ext_noise")
 
 FAMILIES: Dict[str, Family] = {
     f.name: f
@@ -317,6 +379,27 @@ FAMILIES: Dict[str, Family] = {
             _expand_ablation_kernel,
             E.ablation_kernel_point,
             smoke=dict(n_ranks=8, iterations=5),
+        ),
+        Family(
+            "ext_ft",
+            "Extension: NPB FT (transpose-heavy kernel)",
+            _expand_ext_ft,
+            X.ext_ft_point,
+            smoke=dict(rank_counts=(8,), iterations=2, grid_points=64),
+        ),
+        Family(
+            "ext_pfs_qos",
+            "Extension: PFS background traffic vs a latency-sensitive app",
+            _expand_ext_pfs_qos,
+            X.ext_pfs_point,
+            smoke=dict(n_ranks=8, pfs_files=6, pfs_file_kib=1024, iterations=6),
+        ),
+        Family(
+            "ext_noise",
+            "Extension: OS noise coordination on a fine-grained barrier code",
+            _expand_ext_noise,
+            X.ext_noise_point,
+            smoke=dict(n_ranks=8, iterations=8),
         ),
         Family(
             "selftest",

@@ -14,6 +14,8 @@ like ``repro metrics`` — see docs/FARM.md.
 
 from __future__ import annotations
 
+import os
+import platform
 import sys
 import time
 from dataclasses import dataclass, field
@@ -21,7 +23,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..obs import MetricsRegistry
-from .fingerprint import code_fingerprint, result_key
+from .fingerprint import code_fingerprint, git_sha, result_key
 from .points import FAMILIES, PointSpec, family_specs
 from .pool import PointOutcome, WorkerPool
 from .store import ResultStore
@@ -78,9 +80,16 @@ class FarmReport:
         )
 
     def summary_dict(self) -> dict:
-        """JSON-safe digest persisted as the store's last-run record."""
+        """JSON-safe digest persisted as the store's last-run record.
+
+        Carries full provenance (source-tree fingerprint, git SHA,
+        interpreter version) so trend rows and cache records can be
+        joined by what produced them, not just by when.
+        """
         return {
             "fingerprint": self.fingerprint,
+            "git_sha": git_sha(),
+            "python": platform.python_version(),
             "jobs": self.jobs,
             "duration_s": self.duration_s,
             "points": self.n_points,
@@ -142,6 +151,27 @@ class _Progress:
         self.stream.flush()
 
 
+def _record_trends(trend_store, summary: dict) -> None:
+    """Append this run to the cross-run trend store (docs/TRENDS.md).
+
+    Resolved lazily and wrapped defensively: trend recording is an
+    observability side channel and must never fail or slow a farm run
+    that did not ask for it.
+    """
+    if trend_store is None:
+        if not os.environ.get("REPRO_TREND_RECORD"):
+            return
+        from ..obs.trends import TrendStore
+
+        trend_store = TrendStore()
+    from ..obs.trends.record import record_farm_summary
+
+    try:
+        record_farm_summary(trend_store, summary)
+    except (OSError, ValueError):
+        pass  # read-only disk / duplicate run id: the farm run still counts
+
+
 def run_farm(
     families: Optional[Sequence[str]] = None,
     preset: str = "paper",
@@ -154,11 +184,17 @@ def run_farm(
     progress: bool = True,
     overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
     extra_specs: Optional[Sequence[PointSpec]] = None,
+    trend_store=None,
 ) -> FarmReport:
     """Run (or replay from cache) the given families' points in parallel.
 
     ``extra_specs`` appends raw specs after the expanded families —
     the hook tests use to inject hanging/crashing points.
+
+    ``trend_store`` (a :class:`repro.obs.trends.TrendStore`) appends the
+    run's per-family durations to the cross-run trend store; when None,
+    the ``REPRO_TREND_RECORD`` environment variable enables recording
+    into the default store.  Disabled recording costs nothing.
     """
     t0 = time.monotonic()
     registry = registry if registry is not None else MetricsRegistry()
@@ -265,8 +301,10 @@ def run_farm(
         n_failed=sum(1 for o in outcomes.values() if not o.ok),
         n_retried=n_retried,
     )
+    summary = report.summary_dict()
     try:
-        store.save_last_run(report.summary_dict())
+        store.save_last_run(summary)
     except OSError:
         pass  # a read-only store must not fail the run
+    _record_trends(trend_store, summary)
     return report

@@ -30,6 +30,16 @@ Farm subcommands (see docs/FARM.md)::
 ``farm figures`` regenerates the same tables through a parallel,
 fault-isolated worker pool with content-addressed result caching; the
 rows are byte-identical to the sequential commands above.
+
+Trend subcommands (see docs/TRENDS.md)::
+
+    python -m repro.harness.cli trend record --farm-store .farm-store
+    python -m repro.harness.cli trend report
+    python -m repro.harness.cli trend check --series 'farm.*'
+
+``trend`` tracks per-family wall-clock performance across runs
+(append-only JSONL store, median+MAD regression detection, ASCII
+sparklines) and gates CI on per-experiment regressions.
 """
 
 from __future__ import annotations
@@ -238,9 +248,21 @@ def cmd_farm(argv: List[str]) -> int:
     return farm_main(list(argv))
 
 
+def cmd_trend(argv: List[str]) -> int:
+    """``repro trend record|report|check|chart|list ...`` (see docs/TRENDS.md)."""
+    from ..obs.trends.cli import main as trend_main
+
+    return trend_main(list(argv))
+
+
 #: Subcommands with their own argument structure (dispatched before the
 #: experiment parser so ``repro table1 fig8a`` keeps working unchanged).
-OBS_COMMANDS = {"trace": cmd_trace, "metrics": cmd_metrics, "farm": cmd_farm}
+OBS_COMMANDS = {
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
+    "farm": cmd_farm,
+    "trend": cmd_trend,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -1,0 +1,43 @@
+"""Cross-run performance trend tracking (see docs/TRENDS.md).
+
+The paper's headline claim is *performance* — BCS-MPI stays within a
+few percent of the production MPI — so the reproduction's own
+performance must be observable over time, not just in one snapshot.
+This subpackage persists per-run performance series and classifies each
+one with robust statistics:
+
+- :class:`TrendStore` — append-only JSONL store: one line of run
+  metadata per recorded run (git SHA, source-tree fingerprint, python
+  version, spin-loop calibration) plus one observation line per series;
+- :mod:`~repro.obs.trends.record` — adapters that turn a farm run
+  summary or a ``bench_wallclock`` report into trend samples,
+  normalized by ``calibration_s`` so quick-mode CI runs compare across
+  machines;
+- :class:`RegressionDetector` — median + MAD over a trailing window
+  with warm-up discard and per-series thresholds; classifies each
+  series ``ok`` / ``warn`` / ``regress`` and never flips on a single
+  noisy run in the history;
+- :mod:`~repro.obs.trends.cli` — ``repro trend record|report|check|chart``.
+
+Everything is passive and off the simulator's hot path: recording
+happens once per run, after the results exist, and costs nothing when
+no trend store is configured.
+"""
+
+from .calibrate import Calibration, spin_calibration
+from .detect import DetectorConfig, RegressionDetector, Verdict, mad, median
+from .store import RunMeta, Sample, TrendStore, default_trend_path
+
+__all__ = [
+    "Calibration",
+    "DetectorConfig",
+    "RegressionDetector",
+    "RunMeta",
+    "Sample",
+    "TrendStore",
+    "Verdict",
+    "default_trend_path",
+    "mad",
+    "median",
+    "spin_calibration",
+]

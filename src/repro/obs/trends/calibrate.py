@@ -1,0 +1,43 @@
+"""Machine-speed calibration shared by the bench gate and the trend store.
+
+All cross-machine comparisons in this repo divide wall-clock seconds by
+the best-of-N duration of one fixed pure-Python spin loop.  The loop
+body must never change: the committed ``BENCH_simperf.json`` baseline
+and every recorded trend row are expressed in units of it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["Calibration", "spin_calibration"]
+
+#: Iterations of the probe loop.  Fixed forever — see module docstring.
+_LOOP_ITERATIONS = 2_000_000
+
+
+class Calibration:
+    """Machine speed probe: a fixed pure-Python spin loop.
+
+    Sampled repeatedly, interleaved with the benchmarks, keeping the
+    minimum — the best estimate of unloaded interpreter speed even when
+    background load comes in bursts.
+    """
+
+    def __init__(self):
+        self.best = math.inf
+        self.sample()
+
+    def sample(self) -> None:
+        for _ in range(3):
+            t0 = time.perf_counter()
+            acc = 0
+            for i in range(_LOOP_ITERATIONS):
+                acc += i & 1023
+            self.best = min(self.best, time.perf_counter() - t0)
+
+
+def spin_calibration() -> float:
+    """One-shot calibration: best spin-loop duration in seconds."""
+    return Calibration().best

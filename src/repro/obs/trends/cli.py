@@ -1,0 +1,260 @@
+"""``repro trend`` — cross-run performance trend subcommands.
+
+::
+
+    repro trend record --farm-store .farm-store        # append last farm run
+    repro trend record --bench-report bench.json       # append a bench run
+    repro trend record --seed-baseline BENCH_simperf.json
+    repro trend report                                 # tables + sparklines
+    repro trend report --series 'farm.*'
+    repro trend check --series 'bench.*' --json out.json
+    repro trend chart farm.duration_ms/fig8a
+    repro trend list
+
+Exit codes: 0 = ok (warnings allowed unless ``--strict``), 1 = at
+least one series regressed, 2 = bad usage / unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .detect import DetectorConfig, RegressionDetector
+from .record import record_bench_report, record_farm_summary
+from .report import json_report, render_chart, render_report, render_verdicts
+from .store import TrendStore, default_trend_path
+
+__all__ = ["main"]
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=f"trend store directory (default: $REPRO_TREND_STORE or {default_trend_path()})",
+    )
+
+
+def _add_detector_args(parser: argparse.ArgumentParser) -> None:
+    d = DetectorConfig()
+    parser.add_argument("--window", type=int, default=d.window, help=f"trailing runs considered (default {d.window})")
+    parser.add_argument("--warmup", type=int, default=d.warmup, help=f"leading runs discarded per series (default {d.warmup})")
+    parser.add_argument("--min-history", type=int, default=d.min_history, help=f"baseline runs required to gate (default {d.min_history})")
+    parser.add_argument("--warn-pct", type=float, default=d.warn_pct, help=f"relative excess that warns (default {d.warn_pct})")
+    parser.add_argument("--regress-pct", type=float, default=d.regress_pct, help=f"relative excess that regresses (default {d.regress_pct})")
+    parser.add_argument(
+        "--thresholds",
+        metavar="JSON",
+        default=None,
+        help="per-series overrides file: {\"series-glob\": {\"regress_pct\": 1.5}}",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trend",
+        description="Cross-run performance trend store and regression gate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="append one run to the trend store")
+    _add_store_arg(record)
+    src = record.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--farm-store",
+        metavar="PATH",
+        help="farm result store (reads its last-run.json)",
+    )
+    src.add_argument(
+        "--bench-report",
+        metavar="PATH",
+        help="bench_wallclock JSON report to append",
+    )
+    src.add_argument(
+        "--seed-baseline",
+        metavar="PATH",
+        help="bench-format baseline (e.g. BENCH_simperf.json) recorded once "
+        "as the day-one history row; a second invocation is a no-op",
+    )
+
+    report = sub.add_parser("report", help="per-family tables with sparklines")
+    _add_store_arg(report)
+    _add_detector_args(report)
+    report.add_argument("--series", metavar="GLOB", default=None, help="only series matching this glob")
+
+    check = sub.add_parser("check", help="gate: fail on a regressed series")
+    _add_store_arg(check)
+    _add_detector_args(check)
+    check.add_argument("--series", metavar="GLOB", default=None, help="only series matching this glob")
+    check.add_argument("--json", metavar="PATH", default=None, help="also write the JSON verdict report (CI artifact)")
+    check.add_argument("--strict", action="store_true", help="treat warnings as failures too")
+
+    chart = sub.add_parser("chart", help="ASCII chart of one series")
+    _add_store_arg(chart)
+    chart.add_argument("series", help="series id (see `repro trend list`)")
+    chart.add_argument("--width", type=int, default=64)
+    chart.add_argument("--height", type=int, default=10)
+
+    lst = sub.add_parser("list", help="list recorded series and run counts")
+    _add_store_arg(lst)
+
+    return parser
+
+
+def _store_from(args) -> TrendStore:
+    return TrendStore(Path(args.store)) if args.store else TrendStore()
+
+
+def _config_from(args) -> DetectorConfig:
+    overrides = {}
+    if getattr(args, "thresholds", None):
+        try:
+            overrides = json.loads(Path(args.thresholds).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro trend: cannot read {args.thresholds}: {exc}")
+        if not isinstance(overrides, dict):
+            raise SystemExit(
+                f"repro trend: {args.thresholds} must hold a JSON object"
+            )
+    return DetectorConfig(
+        window=args.window,
+        warmup=args.warmup,
+        min_history=args.min_history,
+        warn_pct=args.warn_pct,
+        regress_pct=args.regress_pct,
+        overrides=overrides,
+    )
+
+
+def _load_json(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"repro trend: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(data, dict):
+        print(f"repro trend: {path} does not hold a JSON object", file=sys.stderr)
+        raise SystemExit(2)
+    return data
+
+
+def cmd_record(args) -> int:
+    store = _store_from(args)
+    if args.farm_store:
+        path = Path(args.farm_store)
+        if path.is_dir():
+            path = path / "last-run.json"
+        summary = _load_json(str(path))
+        recorded = record_farm_summary(store, summary)
+        if recorded is None:
+            print("nothing to record: the farm run was fully cached")
+            return 0
+        meta, rows = recorded
+    else:
+        source = "bench" if args.bench_report else "seed"
+        report = _load_json(args.bench_report or args.seed_baseline)
+        try:
+            meta, rows = record_bench_report(store, report, source=source)
+        except ValueError:
+            if source == "seed":
+                print("seed baseline already recorded; nothing to do")
+                return 0
+            raise
+    print(
+        f"recorded run {meta.run_id} ({meta.source}, git {meta.git_sha[:12]}): "
+        f"{rows} series row(s) -> {store.root}"
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    print(render_report(_store_from(args), _config_from(args), args.series))
+    return 0
+
+
+def cmd_check(args) -> int:
+    store = _store_from(args)
+    config = _config_from(args)
+    detector = RegressionDetector(config)
+    verdicts = detector.verdicts(store, args.series)
+    print(render_verdicts(verdicts))
+    if args.json:
+        payload = json_report(store, config, args.series)
+        try:
+            Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        except OSError as exc:
+            print(f"repro trend: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+    failures = [
+        v
+        for v in verdicts
+        if v.gates or (args.strict and v.status == "warn")
+    ]
+    counts = RegressionDetector.summary(verdicts)
+    print(
+        f"\n{len(verdicts)} series: {counts['ok']} ok, {counts['warn']} warn, "
+        f"{counts['regress']} regress, {counts['short']} short"
+    )
+    if failures:
+        for v in failures:
+            print(f"TREND GATE FAILED: {v.series}: {v.reason}", file=sys.stderr)
+        return 1
+    print("trend gate passed")
+    return 0
+
+
+def cmd_chart(args) -> int:
+    store = _store_from(args)
+    if args.series not in store.series_ids():
+        print(f"unknown series {args.series!r}", file=sys.stderr)
+        known = store.series_ids()
+        if known:
+            print("known series:\n  " + "\n  ".join(known), file=sys.stderr)
+        return 2
+    print(render_chart(store, args.series, width=args.width, height=args.height))
+    return 0
+
+
+def cmd_list(args) -> int:
+    store = _store_from(args)
+    ids = store.series_ids()
+    if not ids:
+        print("trend store is empty (nothing recorded yet)")
+        return 0
+    print(f"{store.run_count()} run(s), {len(ids)} series in {store.root}:")
+    for series_id in ids:
+        print(f"  {series_id}  ({len(store.values(series_id))} observations)")
+    return 0
+
+
+_DISPATCH = {
+    "record": cmd_record,
+    "report": cmd_report,
+    "check": cmd_check,
+    "chart": cmd_chart,
+    "list": cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _DISPATCH[args.command](args)
+    except SystemExit as exc:
+        # _load_json/_config_from abort with SystemExit; hand the code
+        # back as a plain return so `repro trend` composes as a library.
+        if isinstance(exc.code, int):
+            return exc.code
+        if exc.code:
+            print(exc.code, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,268 @@
+"""Robust cross-run regression detection: median + MAD over a window.
+
+The detector answers one question per series: *is the latest run slower
+than this series' recent history, beyond what its own noise explains?*
+
+Statistics (see docs/TRENDS.md for the full rationale):
+
+- the baseline is the **median** of the trailing window (excluding the
+  latest run), so a single outlier anywhere in the history cannot move
+  it;
+- the spread is the **MAD** (median absolute deviation, scaled by
+  1.4826 to estimate sigma), floored at a fraction of the median so a
+  suspiciously quiet series does not turn microseconds of jitter into
+  sigmas;
+- a series only regresses when the latest value exceeds the baseline
+  **both** by a relative margin (``regress_pct``) **and** by a robust
+  z-score (``z_regress``) — percent-noise on fast points and absolute
+  noise on slow points each veto the other;
+- a **drift** check compares the median of the newer half of the
+  window against the older half, catching slow creep that never trips
+  the single-run test;
+- series shorter than ``warmup + min_history + 1`` runs are ``short``:
+  reported, never gated.
+
+``exact`` series (virtual time, deterministic event counts) are not
+statistical at all: any change against the previous run is a ``warn``
+with both values printed, and never a gate failure — a legitimate code
+change moves them together with the source fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .store import TrendStore
+
+__all__ = ["DetectorConfig", "RegressionDetector", "Verdict", "mad", "median"]
+
+#: Conversion from MAD to a sigma estimate for normal-ish noise.
+_MAD_SIGMA = 1.4826
+
+
+def median(values: Sequence[float]) -> float:
+    """Plain median (mean of the middle two for even lengths)."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("median of empty sequence")
+    mid = len(data) // 2
+    if len(data) % 2:
+        return data[mid]
+    return (data[mid - 1] + data[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Tunables of the regression detector.
+
+    ``overrides`` maps series-id glob patterns to field overrides, so a
+    known-noisy family can carry a looser threshold without loosening
+    the whole store::
+
+        DetectorConfig(overrides={"farm.duration_ms/table2": {"regress_pct": 1.5}})
+    """
+
+    #: trailing runs considered (baseline + latest).
+    window: int = 20
+    #: leading runs of each series discarded (cold caches, first-run JIT
+    #: effects of a fresh machine).
+    warmup: int = 1
+    #: baseline observations required before the series can gate.
+    min_history: int = 3
+    #: relative excess over the baseline median for warn / regress.
+    warn_pct: float = 0.35
+    regress_pct: float = 0.75
+    #: robust z-score floors for warn / regress.
+    z_warn: float = 3.0
+    z_regress: float = 6.0
+    #: newer-half vs older-half median excess flagged as drift.
+    drift_pct: float = 0.35
+    #: MAD floor, as a fraction of the baseline median.
+    rel_floor: float = 0.05
+    #: series-id glob -> {field: value} overrides.
+    overrides: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    def for_series(self, series_id: str) -> "DetectorConfig":
+        """This config with every matching override pattern applied."""
+        cfg = self
+        for pattern in sorted(self.overrides):
+            if fnmatchcase(series_id, pattern):
+                fields = {
+                    k: v
+                    for k, v in self.overrides[pattern].items()
+                    if k in self.__dataclass_fields__ and k != "overrides"
+                }
+                cfg = replace(cfg, **fields)
+        return cfg
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The detector's classification of one series."""
+
+    series: str
+    #: "ok" | "warn" | "regress" | "short"
+    status: str
+    #: latest normalized value (None for an empty series).
+    last: Optional[float] = None
+    #: baseline median of the history window.
+    baseline: Optional[float] = None
+    #: latest / baseline (1.0 = unchanged).
+    ratio: Optional[float] = None
+    #: robust z-score of the latest value.
+    z: Optional[float] = None
+    #: observations that informed the verdict (after warm-up discard).
+    n: int = 0
+    kind: str = "timing"
+    reason: str = ""
+
+    @property
+    def gates(self) -> bool:
+        """Whether this verdict fails ``repro trend check``."""
+        return self.status == "regress"
+
+
+def classify(values: Sequence[float], cfg: DetectorConfig) -> Verdict:
+    """Classify an anonymous series of normalized values (latest last)."""
+    if not values:
+        return Verdict(series="", status="short", reason="empty series")
+    usable = list(values[cfg.warmup :]) if len(values) > cfg.warmup else [values[-1]]
+    usable = usable[-cfg.window :]
+    last = usable[-1]
+    history = usable[:-1]
+    if len(history) < cfg.min_history:
+        return Verdict(
+            series="",
+            status="short",
+            last=last,
+            n=len(usable),
+            reason=(
+                f"history {len(history)} < min_history {cfg.min_history}"
+            ),
+        )
+
+    base = median(history)
+    spread = mad(history, base) * _MAD_SIGMA
+    floor = max(cfg.rel_floor * abs(base), 1e-12)
+    spread = max(spread, floor)
+    z = (last - base) / spread
+    ratio = last / base if base > 0 else float("inf")
+    excess = ratio - 1.0
+
+    status, reason = "ok", ""
+    if excess > cfg.warn_pct and z > cfg.z_warn:
+        status, reason = "warn", (
+            f"latest {last:.4g} is +{excess:.0%} over median {base:.4g} "
+            f"(z={z:.1f})"
+        )
+    if excess > cfg.regress_pct and z > cfg.z_regress:
+        status, reason = "regress", (
+            f"latest {last:.4g} is +{excess:.0%} over median {base:.4g} "
+            f"(z={z:.1f}, limits +{cfg.regress_pct:.0%}/z>{cfg.z_regress:g})"
+        )
+
+    # Slow-creep check: has the newer half of the window drifted up?
+    if status != "regress" and len(usable) >= 2 * cfg.min_history:
+        older = usable[: len(usable) // 2]
+        newer = usable[len(usable) // 2 :]
+        drift = median(newer) / median(older) - 1.0 if median(older) > 0 else 0.0
+        if drift > cfg.regress_pct:
+            status, reason = "regress", (
+                f"drift: newer half median is +{drift:.0%} over older half"
+            )
+        elif drift > cfg.drift_pct and status == "ok":
+            status, reason = "warn", (
+                f"drift: newer half median is +{drift:.0%} over older half"
+            )
+
+    return Verdict(
+        series="",
+        status=status,
+        last=last,
+        baseline=base,
+        ratio=ratio,
+        z=z,
+        n=len(usable),
+        reason=reason,
+    )
+
+
+def classify_exact(values: Sequence[float], cfg: DetectorConfig) -> Verdict:
+    """Classify a deterministic series: any change vs the previous run warns."""
+    if not values:
+        return Verdict(series="", status="short", kind="exact", reason="empty series")
+    last = values[-1]
+    if len(values) < 2:
+        return Verdict(
+            series="", status="short", kind="exact", last=last, n=1,
+            reason="no previous run",
+        )
+    prev = values[-2]
+    if last != prev:
+        return Verdict(
+            series="",
+            status="warn",
+            kind="exact",
+            last=last,
+            baseline=prev,
+            ratio=(last / prev if prev else None),
+            n=len(values),
+            reason=f"deterministic value changed: {prev:g} -> {last:g}",
+        )
+    return Verdict(
+        series="", status="ok", kind="exact", last=last, baseline=prev,
+        ratio=1.0, n=len(values),
+    )
+
+
+class RegressionDetector:
+    """Applies :class:`DetectorConfig` to every series of a store."""
+
+    def __init__(self, config: Optional[DetectorConfig] = None):
+        self.config = config if config is not None else DetectorConfig()
+
+    def verdict(self, store: TrendStore, series_id: str) -> Verdict:
+        rows = store.read_series(series_id)
+        values = [
+            float(r["value"])
+            for r in rows
+            if isinstance(r.get("value"), (int, float))
+        ]
+        kind = rows[-1].get("kind", "timing") if rows else "timing"
+        cfg = self.config.for_series(series_id)
+        if kind == "exact":
+            v = classify_exact(values, cfg)
+        else:
+            v = classify(values, cfg)
+        return replace(v, series=series_id, kind=kind)
+
+    def verdicts(
+        self, store: TrendStore, series_glob: Optional[str] = None
+    ) -> List[Verdict]:
+        """Classify every (matching) series, sorted by series id."""
+        out: List[Verdict] = []
+        for series_id in store.series_ids():
+            if series_glob and not fnmatchcase(series_id, series_glob):
+                continue
+            out.append(self.verdict(store, series_id))
+        return out
+
+    @staticmethod
+    def failures(verdicts: Sequence[Verdict]) -> List[Verdict]:
+        return [v for v in verdicts if v.gates]
+
+    @staticmethod
+    def summary(verdicts: Sequence[Verdict]) -> Dict[str, int]:
+        counts: Dict[str, int] = {"ok": 0, "warn": 0, "regress": 0, "short": 0}
+        for v in verdicts:
+            counts[v.status] = counts.get(v.status, 0) + 1
+        return counts

@@ -5,14 +5,13 @@ named counters.  All hot paths guard emission behind ``enabled_for`` so a
 disabled trace costs one dict lookup.
 
 Histograms support exact percentile queries (:meth:`Trace.percentile`,
-:meth:`Trace.summary`); direct access to the ``histograms`` dict is
-deprecated — use :meth:`Trace.samples` or the summary helpers, or reach
-for :class:`repro.obs.MetricsRegistry` when you need labeled series.
+:meth:`Trace.summary`); access the raw samples through
+:meth:`Trace.samples`, or reach for :class:`repro.obs.MetricsRegistry`
+when you need labeled series.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
@@ -91,22 +90,6 @@ class Trace:
             "p95": self.percentile(name, 95),
             "p99": self.percentile(name, 99),
         }
-
-    @property
-    def histograms(self) -> Dict[str, List[float]]:
-        """Deprecated: the raw histogram dict.
-
-        Use :meth:`samples`, :meth:`percentile`, or :meth:`summary`
-        instead (or a :class:`repro.obs.MetricsRegistry` for labeled
-        metrics).  Kept for one release so external callers migrate.
-        """
-        warnings.warn(
-            "Trace.histograms is deprecated; use Trace.samples()/"
-            "percentile()/summary() or repro.obs.MetricsRegistry",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._histograms
 
     def by_category(self, category: str) -> List[TraceRecord]:
         """All captured records of a category, in time order."""

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.farm.points import (
+    EXTENSION_FAMILIES,
     FAMILIES,
     FIGURE_FAMILIES,
     PointSpec,
@@ -30,10 +31,36 @@ EXPECTED_COUNTS = {
 }
 
 
+#: Expected paper-preset counts of the extension studies (kept apart
+#: from EXPECTED_COUNTS, which must stay == the paper's figure set).
+EXTENSION_COUNTS = {
+    "ext_ft": 1,
+    "ext_pfs_qos": 4,  # 2 schedulers x (alone, with PFS)
+    "ext_noise": 3,  # quiet / uncoordinated / coordinated
+}
+
+
 def test_every_figure_family_registered():
     assert set(EXPECTED_COUNTS) == set(FIGURE_FAMILIES)
     for name in FIGURE_FAMILIES:
         assert name in FAMILIES
+
+
+def test_extension_families_registered_but_not_in_figure_set():
+    assert set(EXTENSION_COUNTS) == set(EXTENSION_FAMILIES)
+    for name in EXTENSION_FAMILIES:
+        assert name in FAMILIES
+        assert name not in FIGURE_FAMILIES
+        assert FAMILIES[name].title.startswith("Extension:")
+
+
+@pytest.mark.parametrize("name", sorted(EXTENSION_COUNTS))
+def test_extension_expansion_counts(name):
+    specs = expand_family(name, "paper")
+    assert len(specs) == EXTENSION_COUNTS[name]
+    assert [s.index for s in specs] == list(range(len(specs)))
+    # the smoke preset shrinks the work, never the point structure
+    assert len(expand_family(name, "smoke")) == EXTENSION_COUNTS[name]
 
 
 @pytest.mark.parametrize("name", sorted(EXPECTED_COUNTS))

@@ -1,8 +1,11 @@
 """Farm orchestration: caching, aggregation, metrics, failure reporting."""
 
+import platform
+
 import pytest
 
 from repro.obs import MetricsRegistry
+from repro.obs.trends import TrendStore
 from repro.farm.points import expand_family
 from repro.farm.service import run_farm
 from repro.farm.store import ResultStore
@@ -105,6 +108,63 @@ def test_last_run_summary_is_persisted(tmp_path):
     assert last["families"]["selftest"]["ok"] == report.n_points
     assert "farm.points.completed" in last["metrics"]
     assert "farm.points.completed" in last["metrics_render"]
+
+
+def test_last_run_summary_carries_provenance(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    report = run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    last = store.load_last_run()
+    # trend rows and cache records join on *what* produced the run
+    assert last["fingerprint"] == report.fingerprint
+    assert len(last["fingerprint"]) >= 12  # the source-tree digest, not a stub
+    assert last["git_sha"]  # "unknown" outside a git checkout, never absent
+    assert last["python"] == platform.python_version()
+
+
+def test_trend_store_records_executed_runs_only(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    trends = TrendStore(tmp_path / "trends")
+    report = run_farm(
+        families=["selftest"],
+        store=store,
+        jobs=1,
+        progress=False,
+        trend_store=trends,
+    )
+    assert report.ok
+    assert trends.run_count() == 1
+    assert "farm.duration_ms/selftest" in trends.series_ids()
+    (meta,) = trends.runs()
+    assert meta["source"] == "farm"
+    assert meta["fingerprint"] == report.fingerprint
+    assert meta["calibration_s"] > 0
+
+    # second run is fully cached: a cache replay measures the disk, not
+    # the simulator, so nothing new may land in the trend store
+    run_farm(
+        families=["selftest"],
+        store=store,
+        jobs=1,
+        progress=False,
+        trend_store=trends,
+    )
+    assert trends.run_count() == 1
+
+
+def test_trend_recording_is_off_by_default(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_TREND_RECORD", raising=False)
+    monkeypatch.setenv("REPRO_TREND_STORE", str(tmp_path / "trends"))
+    store = ResultStore(tmp_path / "store")
+    run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    assert not (tmp_path / "trends").exists()
+
+
+def test_trend_recording_via_env_var(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TREND_RECORD", "1")
+    monkeypatch.setenv("REPRO_TREND_STORE", str(tmp_path / "trends"))
+    store = ResultStore(tmp_path / "store")
+    run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    assert TrendStore(tmp_path / "trends").run_count() == 1
 
 
 def test_cached_rows_preserve_key_order(tmp_path):

@@ -1,0 +1,238 @@
+"""``repro trend`` end to end, driven through the harness CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.obs.trends import RunMeta, Sample, TrendStore
+from repro.obs.trends.report import render_chart, render_report, sparkline
+
+
+def _seed_store(path, series, values, kind="timing"):
+    store = TrendStore(path)
+    for i, v in enumerate(values):
+        store.append_run(
+            RunMeta(run_id=f"r{i}", source="test", calibration_s=1.0),
+            [Sample(series, v, raw=v, kind=kind)],
+        )
+    return store
+
+
+def _bench_report(tmp_path, normalized=2.0, name="report.json"):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "quick": True,
+                "calibration_s": 0.25,
+                "python": "3.12.0",
+                "benchmarks": {
+                    "sage_fig10": {
+                        "kind": "macro",
+                        "wall_s": normalized * 0.25,
+                        "normalized": normalized,
+                        "virtual_ns": 1000,
+                        "idle_slices_skipped": 5,
+                    }
+                },
+            }
+        )
+    )
+    return path
+
+
+def test_record_bench_then_list_and_report(tmp_path, capsys):
+    store = tmp_path / "ts"
+    report = _bench_report(tmp_path)
+    for i in range(3):
+        # distinct run ids come from wall-clock time; force them via seed-less
+        # bench records (each invocation creates a fresh run id)
+        assert main(
+            ["trend", "record", "--store", str(store), "--bench-report", str(report)]
+        ) == 0
+    out = capsys.readouterr().out
+    assert "recorded run bench-" in out
+    assert main(["trend", "list", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "3 run(s)" in out
+    assert "bench.normalized/sage_fig10  (3 observations)" in out
+    assert main(["trend", "report", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "-- bench.normalized --" in out
+    assert "sage_fig10" in out
+
+
+def test_record_seed_baseline_is_idempotent(tmp_path, capsys):
+    store = tmp_path / "ts"
+    report = _bench_report(tmp_path)
+    assert main(
+        ["trend", "record", "--store", str(store), "--seed-baseline", str(report)]
+    ) == 0
+    assert "seed-baseline" in capsys.readouterr().out
+    assert main(
+        ["trend", "record", "--store", str(store), "--seed-baseline", str(report)]
+    ) == 0
+    assert "already recorded" in capsys.readouterr().out
+    assert TrendStore(store).run_count() == 1
+
+
+def test_record_farm_store_reads_last_run(tmp_path, capsys):
+    farm_store = tmp_path / "farm"
+    farm_store.mkdir()
+    (farm_store / "last-run.json").write_text(
+        json.dumps(
+            {
+                "fingerprint": "cafe" * 16,
+                "duration_s": 3.0,
+                "executed": 2,
+                "metrics": {
+                    "farm.point.duration_ms": {
+                        "kind": "histogram",
+                        "series": {"{family=selftest}": {"count": 2, "sum": 500.0}},
+                    }
+                },
+            }
+        )
+    )
+    ts = tmp_path / "ts"
+    assert main(
+        ["trend", "record", "--store", str(ts), "--farm-store", str(farm_store)]
+    ) == 0
+    assert "recorded run farm-" in capsys.readouterr().out
+    assert "farm.duration_ms/selftest" in TrendStore(ts).series_ids()
+
+
+def test_record_fully_cached_farm_run_is_a_noop(tmp_path, capsys):
+    farm_store = tmp_path / "farm"
+    farm_store.mkdir()
+    (farm_store / "last-run.json").write_text(
+        json.dumps({"fingerprint": "f", "executed": 0, "metrics": {}})
+    )
+    ts = tmp_path / "ts"
+    assert main(
+        ["trend", "record", "--store", str(ts), "--farm-store", str(farm_store)]
+    ) == 0
+    assert "fully cached" in capsys.readouterr().out
+    assert TrendStore(ts).run_count() == 0
+
+
+def test_check_passes_on_stable_series(tmp_path, capsys):
+    store = tmp_path / "ts"
+    _seed_store(store, "farm.duration_ms/selftest", [10.0, 10.0, 10.1, 9.9, 10.0])
+    assert main(["trend", "check", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "trend gate passed" in out
+    assert "1 ok" in out
+
+
+def test_check_fails_and_names_the_family(tmp_path, capsys):
+    store = tmp_path / "ts"
+    _seed_store(
+        store, "farm.duration_ms/selftest", [10.0, 10.0, 10.0, 10.0, 30.0]
+    )
+    json_path = tmp_path / "verdict.json"
+    rc = main(
+        [
+            "trend",
+            "check",
+            "--store",
+            str(store),
+            "--series",
+            "farm.*",
+            "--json",
+            str(json_path),
+        ]
+    )
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "TREND GATE FAILED: farm.duration_ms/selftest" in captured.err
+    payload = json.loads(json_path.read_text())
+    assert payload["status"] == "regress"
+    assert payload["series"]["farm.duration_ms/selftest"]["status"] == "regress"
+
+
+def test_check_short_history_never_gates(tmp_path, capsys):
+    store = tmp_path / "ts"
+    _seed_store(store, "farm.duration_ms/selftest", [10.0, 30.0])
+    assert main(["trend", "check", "--store", str(store)]) == 0
+    assert "1 short" in capsys.readouterr().out
+
+
+def test_check_strict_fails_on_warn(tmp_path, capsys):
+    store = tmp_path / "ts"
+    # exact series change: a warn, which only --strict escalates
+    _seed_store(store, "bench.virtual_ns/sage", [100.0, 100.0, 200.0], kind="exact")
+    assert main(["trend", "check", "--store", str(store)]) == 0
+    capsys.readouterr()
+    assert main(["trend", "check", "--store", str(store), "--strict"]) == 1
+    assert "deterministic value changed" in capsys.readouterr().err
+
+
+def test_check_thresholds_override_file(tmp_path, capsys):
+    store = tmp_path / "ts"
+    _seed_store(store, "farm.duration_ms/noisy", [10.0, 10.0, 10.0, 10.0, 30.0])
+    thresholds = tmp_path / "thresholds.json"
+    thresholds.write_text(
+        json.dumps({"farm.duration_ms/noisy": {"regress_pct": 5.0, "warn_pct": 4.0}})
+    )
+    assert main(["trend", "check", "--store", str(store)]) == 1
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "trend",
+                "check",
+                "--store",
+                str(store),
+                "--thresholds",
+                str(thresholds),
+            ]
+        )
+        == 0
+    )
+
+
+def test_chart_known_and_unknown_series(tmp_path, capsys):
+    store = tmp_path / "ts"
+    _seed_store(store, "farm.duration_ms/selftest", [1.0, 2.0, 3.0])
+    assert main(
+        ["trend", "chart", "--store", str(store), "farm.duration_ms/selftest"]
+    ) == 0
+    assert "farm.duration_ms/selftest" in capsys.readouterr().out
+    assert main(["trend", "chart", "--store", str(store), "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown series" in err
+    assert "farm.duration_ms/selftest" in err  # lists what exists
+
+
+def test_record_unreadable_input_exits_2(tmp_path, capsys):
+    rc = main(
+        [
+            "trend",
+            "record",
+            "--store",
+            str(tmp_path / "ts"),
+            "--bench-report",
+            str(tmp_path / "missing.json"),
+        ]
+    )
+    assert rc == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_sparkline_and_render_helpers(tmp_path):
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+    line = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert line[0] == "▁" and line[-1] == "█"
+    assert len(sparkline(list(range(100)), width=24)) == 24
+
+    store = _seed_store(
+        tmp_path / "ts", "farm.duration_ms/selftest", [1.0, 2.0, 3.0]
+    )
+    chart = render_chart(store, "farm.duration_ms/selftest", height=4)
+    assert "max 3" in chart and "█" in chart
+    empty = TrendStore(tmp_path / "empty")
+    assert "empty" in render_report(empty)

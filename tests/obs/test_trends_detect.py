@@ -1,0 +1,162 @@
+"""Regression detector: robust statistics over synthetic histories.
+
+The scenarios ISSUE.md (PR 4) calls out explicitly: a step regression
+must trip, slow drift must trip, a single-outlier history must NOT
+trip, short histories never gate, and quick-mode runs recorded with a
+different calibration still compare cleanly after normalization.
+"""
+
+import pytest
+
+from repro.obs.trends import DetectorConfig, RegressionDetector, mad, median
+from repro.obs.trends.detect import classify, classify_exact
+from repro.obs.trends.store import RunMeta, Sample, TrendStore
+
+CFG = DetectorConfig()
+
+
+def test_median_and_mad():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+    assert mad([1.0, 1.0, 1.0, 9.0]) == 0.0
+    assert mad([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_stable_series_is_ok():
+    v = classify([10.0, 10.1, 9.9, 10.0, 10.2, 9.8, 10.0], CFG)
+    assert v.status == "ok"
+    assert v.baseline == pytest.approx(10.0, rel=0.05)
+
+
+def test_step_regression_trips():
+    # warm-up discards the first value; baseline median 10, last 30:
+    # +200% excess and a huge robust z — must regress, not just warn.
+    v = classify([10.0, 10.0, 10.2, 9.9, 10.1, 30.0], CFG)
+    assert v.status == "regress"
+    assert v.ratio == pytest.approx(3.0, rel=0.05)
+    assert "over median" in v.reason
+
+
+def test_single_outlier_in_history_does_not_trip():
+    # one 4x spike buried in the history: the median baseline ignores
+    # it, and the healthy latest run is plainly ok.
+    values = [10.0] * 6 + [40.0] + [10.0, 10.0, 10.0]
+    v = classify(values, CFG)
+    assert v.status == "ok"
+    assert v.baseline == pytest.approx(10.0)
+    # ... and the spike itself, seen as the latest value, does trip:
+    assert classify([10.0] * 9 + [40.0], CFG).status == "regress"
+
+
+def test_slow_drift_trips_the_half_window_check():
+    # each step is small (never beats the single-run gate) but the
+    # newer half ends up ~2x the older half.
+    ramp = [10.0, 10.0, 11.0, 12.0, 13.5, 15.0, 17.0, 19.0, 21.5, 24.0, 27.0]
+    v = classify(ramp, CFG)
+    assert v.status in ("warn", "regress")
+    assert "drift" in v.reason
+
+
+def test_short_history_reports_but_never_gates():
+    v = classify([10.0, 30.0], CFG)
+    assert v.status == "short"
+    assert not v.gates
+    assert classify([], CFG).status == "short"
+    assert classify([10.0, 10.0, 30.0], CFG).status == "short"
+
+
+def test_min_history_boundary():
+    # warmup(1) + min_history(3) + latest = 5 values: first gating point.
+    assert classify([10.0, 10.0, 10.0, 10.0, 30.0], CFG).status == "regress"
+    assert classify([10.0, 10.0, 10.0, 10.0, 10.0], CFG).status == "ok"
+
+
+def test_relative_floor_mutes_microscopic_jitter():
+    # an utterly flat series (MAD=0) must not turn a 2% wiggle into
+    # infinite sigmas: the rel_floor keeps z finite and small.
+    v = classify([10.0] * 8 + [10.2], CFG)
+    assert v.status == "ok"
+    assert v.z < 1.0
+
+
+def test_quick_mode_calibration_rescaling():
+    # The same workload measured on a machine 3x slower: raw seconds
+    # triple, but so does the spin-loop calibration, so the normalized
+    # values the detector sees are unchanged -> ok.
+    fast_raw, fast_cal = [2.0, 2.1, 1.9, 2.0], 0.10
+    slow_raw, slow_cal = 6.15, 0.30
+    values = [r / fast_cal for r in fast_raw] + [slow_raw / slow_cal]
+    v = classify(values, CFG)
+    assert v.status == "ok"
+    # sanity: without normalization the same history would regress
+    assert classify(fast_raw + [slow_raw], CFG).status == "regress"
+
+
+def test_config_overrides_per_series_glob():
+    cfg = DetectorConfig(
+        overrides={"farm.duration_ms/table2": {"regress_pct": 5.0, "warn_pct": 4.0}}
+    )
+    loose = cfg.for_series("farm.duration_ms/table2")
+    assert loose.regress_pct == 5.0 and loose.warn_pct == 4.0
+    assert cfg.for_series("farm.duration_ms/fig8a") == cfg
+    # a 3x step passes under the loosened thresholds, fails elsewhere
+    values = [10.0, 10.0, 10.0, 10.0, 30.0]
+    assert classify(values, loose).status == "ok"
+    assert classify(values, cfg).status == "regress"
+
+
+def test_exact_series_changes_warn_but_never_gate():
+    assert classify_exact([100.0, 100.0, 100.0], CFG).status == "ok"
+    v = classify_exact([100.0, 100.0, 150.0], CFG)
+    assert v.status == "warn"
+    assert not v.gates
+    assert "deterministic value changed" in v.reason
+    assert classify_exact([100.0], CFG).status == "short"
+
+
+def _store_with(tmp_path, series_values, kind="timing"):
+    store = TrendStore(tmp_path / "ts")
+    n = max(len(v) for v in series_values.values())
+    for i in range(n):
+        samples = [
+            Sample(sid, vals[i], kind=kind)
+            for sid, vals in series_values.items()
+            if i < len(vals)
+        ]
+        store.append_run(
+            RunMeta(run_id=f"r{i}", source="test", calibration_s=1.0), samples
+        )
+    return store
+
+
+def test_detector_over_a_store(tmp_path):
+    store = _store_with(
+        tmp_path,
+        {
+            "farm.duration_ms/selftest": [10.0, 10.0, 10.0, 10.0, 30.0],
+            "farm.duration_ms/fig8a": [5.0, 5.0, 5.1, 4.9, 5.0],
+        },
+    )
+    detector = RegressionDetector()
+    verdicts = detector.verdicts(store, "farm.*")
+    by_series = {v.series: v for v in verdicts}
+    assert by_series["farm.duration_ms/selftest"].status == "regress"
+    assert by_series["farm.duration_ms/fig8a"].status == "ok"
+    failures = RegressionDetector.failures(verdicts)
+    assert [v.series for v in failures] == ["farm.duration_ms/selftest"]
+    counts = RegressionDetector.summary(verdicts)
+    assert counts == {"ok": 1, "warn": 0, "regress": 1, "short": 0}
+    # glob filtering
+    assert detector.verdicts(store, "bench.*") == []
+
+
+def test_detector_reads_kind_from_the_store(tmp_path):
+    store = _store_with(
+        tmp_path, {"bench.virtual_ns/sage": [100.0, 100.0, 300.0]}, kind="exact"
+    )
+    (v,) = RegressionDetector().verdicts(store)
+    assert v.kind == "exact"
+    assert v.status == "warn"  # 3x jump on an exact series: warn, never gate
+    assert not v.gates

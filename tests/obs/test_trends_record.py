@@ -1,0 +1,146 @@
+"""Recording adapters: farm summaries / bench reports -> trend rows."""
+
+import pytest
+
+from repro.obs.trends import RunMeta, TrendStore
+from repro.obs.trends.record import (
+    bench_samples,
+    farm_samples,
+    record_bench_report,
+    record_farm_summary,
+    snapshot_samples,
+)
+
+
+def _farm_summary(executed=9, families=("fig8a", "selftest")):
+    """A minimal ``last-run.json``-shaped summary with duration digests."""
+    series = {
+        "{family=%s}" % fam: {"count": 4, "sum": 4000.0 * (i + 1), "mean": 0}
+        for i, fam in enumerate(families)
+    }
+    return {
+        "fingerprint": "feedface" * 8,
+        "git_sha": "abc",
+        "duration_s": 12.5,
+        "executed": executed,
+        "metrics": {
+            "farm.point.duration_ms": {"kind": "histogram", "series": series},
+            "sim.slices": {"kind": "counter", "series": {"{}": 123}},
+            "matcher.probes": {"kind": "counter", "series": {"{family=fig8a}": 7}},
+            "farm.cache.hits": {"kind": "counter", "series": {"{}": 5}},
+        },
+    }
+
+
+def _bench_report():
+    return {
+        "schema": 1,
+        "quick": True,
+        "calibration_s": 0.25,
+        "python": "3.12.0",
+        "benchmarks": {
+            "sage_fig10": {
+                "kind": "macro",
+                "wall_s": 1.5,
+                "normalized": 6.0,
+                "virtual_ns": 16_000_000_000,
+                "idle_slices_skipped": 31000,
+            },
+            "barrier_micro": {
+                "kind": "micro",
+                "wall_s": 0.5,
+                "normalized": 2.0,
+                "virtual_ns": 300_000_000,
+                "idle_slices_skipped": 0,
+            },
+        },
+    }
+
+
+def test_farm_samples_one_timing_series_per_family():
+    samples = farm_samples(_farm_summary(), calibration_s=0.5)
+    by_series = {s.series: s for s in samples}
+    fig8a = by_series["farm.duration_ms/fig8a"]
+    # mean 1000 ms -> 1 s / 0.5 s calibration = 2.0 normalized
+    assert fig8a.value == pytest.approx(2.0)
+    assert fig8a.raw == pytest.approx(1000.0)
+    assert fig8a.kind == "timing" and fig8a.n == 4
+    assert by_series["farm.duration_ms/selftest"].value == pytest.approx(4.0)
+    # whole-run duration rides along, normalized the same way
+    assert by_series["farm.run.duration_s"].value == pytest.approx(25.0)
+    # sim.*/matcher.* counters become exact series; farm.* counters do not
+    assert by_series["sim.slices/all"].kind == "exact"
+    assert by_series["matcher.probes/fig8a"].value == 7.0
+    assert "farm.cache.hits/all" not in by_series
+
+
+def test_fully_cached_farm_run_records_nothing(tmp_path):
+    summary = _farm_summary(executed=0)
+    summary["metrics"]["farm.point.duration_ms"]["series"] = {}
+    assert farm_samples(summary, calibration_s=0.5) == []
+    store = TrendStore(tmp_path / "ts")
+    assert record_farm_summary(store, summary, calibration_s=0.5) is None
+    assert store.run_count() == 0
+
+
+def test_record_farm_summary_appends_with_provenance(tmp_path):
+    store = TrendStore(tmp_path / "ts")
+    recorded = record_farm_summary(store, _farm_summary(), calibration_s=0.5)
+    assert recorded is not None
+    meta, rows = recorded
+    assert rows == len(store.series_ids())
+    assert meta.source == "farm"
+    assert meta.fingerprint == "feedface" * 8  # taken from the summary
+    assert meta.calibration_s == 0.5
+    assert store.run_ids() == [meta.run_id]
+
+
+def test_record_farm_summary_requires_calibration(tmp_path):
+    store = TrendStore(tmp_path / "ts")
+    meta = RunMeta(run_id="r", source="farm")  # no calibration_s
+    with pytest.raises(ValueError, match="calibration"):
+        record_farm_summary(store, _farm_summary(), meta=meta)
+
+
+def test_snapshot_samples_respects_patterns():
+    snapshot = _farm_summary()["metrics"]
+    assert {s.series for s in snapshot_samples(snapshot, ("sim.*",))} == {
+        "sim.slices/all"
+    }
+    # histograms are never turned into exact series
+    assert not any(
+        "duration" in s.series for s in snapshot_samples(snapshot, ("farm.*",))
+    )
+
+
+def test_bench_samples_split_timing_and_exact():
+    samples = bench_samples(_bench_report())
+    by_series = {s.series: s for s in samples}
+    assert by_series["bench.normalized/sage_fig10"].value == 6.0
+    assert by_series["bench.normalized/sage_fig10"].raw == 1.5
+    assert by_series["bench.normalized/sage_fig10"].kind == "timing"
+    assert by_series["bench.virtual_ns/sage_fig10"].kind == "exact"
+    assert by_series["bench.idle_slices_skipped/barrier_micro"].value == 0.0
+    assert len(samples) == 6
+
+
+def test_record_bench_report_uses_report_calibration(tmp_path):
+    store = TrendStore(tmp_path / "ts")
+    meta, rows = record_bench_report(store, _bench_report())
+    assert rows == 6
+    assert meta.source == "bench"
+    assert meta.quick is True
+    assert meta.calibration_s == 0.25  # no fresh spin loop: report's value
+    assert meta.python == "3.12.0"
+
+
+def test_seed_baseline_is_idempotent(tmp_path):
+    store = TrendStore(tmp_path / "ts")
+    meta, _ = record_bench_report(store, _bench_report(), source="seed")
+    assert meta.run_id == "seed-baseline"
+    with pytest.raises(ValueError, match="already recorded"):
+        record_bench_report(store, _bench_report(), source="seed")
+    assert store.run_count() == 1
+    # a later real bench run still lands on top of the seed row
+    record_bench_report(store, _bench_report())
+    assert store.values("bench.normalized/sage_fig10") == [6.0, 6.0]

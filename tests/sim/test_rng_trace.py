@@ -78,18 +78,14 @@ def test_trace_histogram_summary_and_percentiles():
         trace.percentile("unknown", 50)
 
 
-def test_trace_histograms_dict_access_is_deprecated():
-    import warnings
-
+def test_trace_histograms_shim_removed():
     trace = Trace()
     trace.observe("lat", 1.0)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        hist = trace.histograms
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    assert hist["lat"] == [1.0]  # still functional during the deprecation window
+    assert not hasattr(trace, "histograms")
+    assert trace.samples("lat") == [1.0]
     trace.clear()
     assert not trace.counters and not trace.records
+    assert trace.samples("lat") == []
 
 
 def test_null_trace_captures_nothing():
