@@ -43,9 +43,11 @@ sys.path.insert(0, str(REPO / "src"))
 from repro.apps.sage import sage  # noqa: E402
 from repro.apps.sweep3d import sweep3d_blocking  # noqa: E402
 from repro.apps.synthetic import barrier_benchmark  # noqa: E402
-from repro.bcs import BcsConfig  # noqa: E402
+from repro.bcs import BcsConfig, BcsRuntime  # noqa: E402
 from repro.harness.runner import run_workload  # noqa: E402
+from repro.network import Cluster, ClusterSpec  # noqa: E402
 from repro.obs.trends.calibrate import Calibration  # noqa: E402
+from repro.storm import JobSpec  # noqa: E402
 from repro.units import ms, seconds  # noqa: E402
 
 BASELINE_PATH = REPO / "BENCH_simperf.json"
@@ -55,17 +57,26 @@ SCHEMA = 1
 MACRO_MIN_SPEEDUP = 2.0
 #: Dense micro benchmarks must not get slower than this factor.
 MICRO_MIN_SPEEDUP = 0.90
+#: Required full-stack speedup on the large-N scaling replay: one small
+#: job on a 512-node machine must run >= 10x faster with the optimized
+#: defaults (idle fast-forward + incremental active sets + hash matcher)
+#: than with the historical per-slice full-scan path.
+SCALING_MIN_SPEEDUP = 10.0
 
 
 def benchmarks(quick: bool):
-    """The benchmark matrix: (name, kind, app, n_ranks, params, config kwargs).
+    """The benchmark matrix: (name, kind, app, n_ranks, params, config
+    kwargs, cluster nodes).
 
     ``macro`` workloads are compute-dominated replays in the spirit of
     the paper's Fig. 10 (SAGE) and Fig. 11 (SWEEP3D) runs: most slices
     are idle, so the fast-forward should collapse them.  ``micro``
     workloads keep every slice active so the remaining optimizations
     (hash matching, latch barriers, fabric fast paths) are measured
-    without any skipping.
+    without any skipping.  The ``scaling`` replay is the ISSUE-5 regime:
+    one small job on a 512-node machine, where the per-slice full scans
+    of the reference path dominate and the incremental active sets plus
+    idle fast-forward must buy >= 10x.
     """
     s = 3 if quick else 5  # repetition count per measurement (best-of)
     return s, [
@@ -76,6 +87,7 @@ def benchmarks(quick: bool):
             8,
             dict(steps=8 if quick else 16, step_compute=seconds(1)),
             {},
+            None,
         ),
         (
             "sweep3d_fig11",
@@ -88,6 +100,7 @@ def benchmarks(quick: bool):
                 step_compute=ms(100),
             ),
             {},
+            None,
         ),
         (
             "barrier_micro",
@@ -96,8 +109,28 @@ def benchmarks(quick: bool):
             8,
             dict(iterations=300 if quick else 800, granularity=ms(1)),
             dict(init_cost=0),
+            None,
+        ),
+        (
+            "scaling_512",
+            "scaling",
+            barrier_benchmark,
+            2,
+            dict(iterations=20 if quick else 40, granularity=ms(40)),
+            dict(init_cost=0),
+            512,
         ),
     ]
+
+
+def _slow_config(**cfg_kwargs) -> BcsConfig:
+    """The reference (pre-optimization) simulator configuration."""
+    return BcsConfig(
+        idle_fast_forward=False,
+        matcher="linear",
+        incremental_active_sets=False,
+        **cfg_kwargs,
+    )
 
 
 def run_case(app, n_ranks, params, cfg_kwargs, reps: int):
@@ -108,7 +141,7 @@ def run_case(app, n_ranks, params, cfg_kwargs, reps: int):
     Returns (best_fast, best_slow, fast_result, slow_result).
     """
     fast_cfg = BcsConfig(**cfg_kwargs)
-    slow_cfg = BcsConfig(idle_fast_forward=False, matcher="linear", **cfg_kwargs)
+    slow_cfg = _slow_config(**cfg_kwargs)
     best_fast = best_slow = math.inf
     fast = slow = None
     for _ in range(reps):
@@ -121,14 +154,52 @@ def run_case(app, n_ranks, params, cfg_kwargs, reps: int):
     return best_fast, best_slow, fast, slow
 
 
+class _ScalingResult:
+    """RunResult-shaped view over a large-N run (runtime_ns + stats)."""
+
+    def __init__(self, job, runtime):
+        self.runtime_ns = job.runtime
+        self.stats = dict(runtime.stats)
+
+
+def run_scaling_case(app, n_ranks, params, cfg_kwargs, n_nodes, reps: int):
+    """Like :func:`run_case` on an ``n_nodes`` cluster, timing only the
+    slice machine (cluster construction is O(nodes) on both sides and
+    not what the gate measures)."""
+
+    def one(cfg):
+        cluster = Cluster(ClusterSpec(n_nodes=n_nodes))
+        runtime = BcsRuntime(cluster, cfg)
+        spec = JobSpec(app=app, n_ranks=n_ranks, name="bench", params=params)
+        t0 = time.perf_counter()
+        job = runtime.run_job(spec, max_time=seconds(3600))
+        return time.perf_counter() - t0, _ScalingResult(job, runtime)
+
+    fast_cfg = BcsConfig(**cfg_kwargs)
+    slow_cfg = _slow_config(**cfg_kwargs)
+    best_fast = best_slow = math.inf
+    fast = slow = None
+    for _ in range(reps):
+        wall, fast = one(fast_cfg)
+        best_fast = min(best_fast, wall)
+        wall, slow = one(slow_cfg)
+        best_slow = min(best_slow, wall)
+    return best_fast, best_slow, fast, slow
+
+
 def run_suite(quick: bool) -> dict:
     calibration = Calibration()
     reps, matrix = benchmarks(quick)
     raw = {}
-    for name, kind, app, n_ranks, params, cfg_kwargs in matrix:
-        wall_fast, wall_slow, fast, slow = run_case(
-            app, n_ranks, params, cfg_kwargs, reps
-        )
+    for name, kind, app, n_ranks, params, cfg_kwargs, n_nodes in matrix:
+        if kind == "scaling":
+            wall_fast, wall_slow, fast, slow = run_scaling_case(
+                app, n_ranks, params, cfg_kwargs, n_nodes, reps
+            )
+        else:
+            wall_fast, wall_slow, fast, slow = run_case(
+                app, n_ranks, params, cfg_kwargs, reps
+            )
         calibration.sample()
         if fast.runtime_ns != slow.runtime_ns:
             raise SystemExit(
@@ -174,6 +245,12 @@ def check(report: dict) -> int:
     for name, rec in report["benchmarks"].items():
         if rec["kind"] == "macro":
             macro_speedups[name] = rec["speedup"]
+        elif rec["kind"] == "scaling":
+            if rec["speedup"] < SCALING_MIN_SPEEDUP:
+                failures.append(
+                    f"{name}: large-N replay below the scaling floor "
+                    f"({rec['speedup']:.2f}x < {SCALING_MIN_SPEEDUP:.1f}x)"
+                )
         elif rec["speedup"] < MICRO_MIN_SPEEDUP:
             failures.append(
                 f"{name}: dense micro slowed down ({rec['speedup']:.2f}x < "

@@ -66,6 +66,13 @@ class BcsConfig:
     #: MPI matching implementation: "hash" (bucketed, O(1) amortized) or
     #: "linear" (reference list scan).  Identical match sequences.
     matcher: str = "hash"
+    #: Answer the Strobe Sender's per-slice questions (``any_work``,
+    #: ``dem/msm/bbm/rm_nodes``, slice-boundary wake pulses) from
+    #: incrementally maintained active-node sets instead of scanning
+    #: every node runtime.  Per-slice cost becomes O(active nodes); the
+    #: full-scan path is kept as the reference oracle (pure simulator
+    #: wall-clock optimization; virtual timings are identical).
+    incremental_active_sets: bool = True
 
     def __post_init__(self):
         if self.timeslice <= 0:

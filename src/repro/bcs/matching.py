@@ -60,6 +60,26 @@ class TruncationError(SimError):
     """A matched message is larger than the posted receive buffer."""
 
 
+class MatcherTotals:
+    """Machine-wide (unexpected, posted) counts shared by all matchers.
+
+    Every matcher keeps these aggregates current as descriptors are
+    parked and matched, so telemetry that wants machine totals (the
+    per-slice matcher gauges) reads two integers instead of polling all
+    N per-node matchers.  The runtime hands one shared instance to every
+    node's matcher; a matcher constructed without one gets its own.
+    """
+
+    __slots__ = ("unexpected", "posted")
+
+    def __init__(self):
+        self.unexpected = 0
+        self.posted = 0
+
+    def __repr__(self) -> str:
+        return f"<MatcherTotals unexpected={self.unexpected} posted={self.posted}>"
+
+
 class _MatcherBase:
     """Shared pairing / reporting logic of both matcher implementations."""
 
@@ -97,10 +117,11 @@ class LinearMatcher(_MatcherBase):
     oracle the hashed matcher is differentially tested against.
     """
 
-    __slots__ = ("node_id", "unexpected", "posted")
+    __slots__ = ("node_id", "totals", "unexpected", "posted")
 
-    def __init__(self, node_id: int):
+    def __init__(self, node_id: int, totals: Optional[MatcherTotals] = None):
         self.node_id = node_id
+        self.totals = totals if totals is not None else MatcherTotals()
         #: Arrived send descriptors not yet matched (arrival order).
         self.unexpected: List[SendDescriptor] = []
         #: Posted receive descriptors not yet matched (post order).
@@ -113,8 +134,10 @@ class LinearMatcher(_MatcherBase):
         for i, recv in enumerate(self.posted):
             if recv.matches(send):
                 del self.posted[i]
+                self.totals.posted -= 1
                 return self._pair(send, recv)
         self.unexpected.append(send)
+        self.totals.unexpected += 1
         return None
 
     def add_recv(self, recv: RecvDescriptor) -> Optional[Match]:
@@ -122,14 +145,20 @@ class LinearMatcher(_MatcherBase):
         for i, send in enumerate(self.unexpected):
             if recv.matches(send):
                 del self.unexpected[i]
+                self.totals.unexpected -= 1
                 return self._pair(send, recv)
         self.posted.append(recv)
+        self.totals.posted += 1
         return None
 
     def purge_job(self, job_id: int) -> None:
         """Drop every descriptor belonging to ``job_id``."""
-        self.unexpected = [d for d in self.unexpected if d.job_id != job_id]
-        self.posted = [d for d in self.posted if d.job_id != job_id]
+        kept_u = [d for d in self.unexpected if d.job_id != job_id]
+        kept_p = [d for d in self.posted if d.job_id != job_id]
+        self.totals.unexpected -= len(self.unexpected) - len(kept_u)
+        self.totals.posted -= len(self.posted) - len(kept_p)
+        self.unexpected = kept_u
+        self.posted = kept_p
 
     @property
     def pending_counts(self) -> tuple[int, int]:
@@ -148,6 +177,7 @@ class HashMatcher(_MatcherBase):
 
     __slots__ = (
         "node_id",
+        "totals",
         "_seq",
         "_usends",
         "_precvs",
@@ -158,8 +188,9 @@ class HashMatcher(_MatcherBase):
         "_p_buckets",
     )
 
-    def __init__(self, node_id: int):
+    def __init__(self, node_id: int, totals: Optional[MatcherTotals] = None):
         self.node_id = node_id
+        self.totals = totals if totals is not None else MatcherTotals()
         #: Shared arrival clock across both queues.
         self._seq = 0
         #: Authoritative unexpected-send queue: desc_id -> (seq, send),
@@ -209,9 +240,11 @@ class HashMatcher(_MatcherBase):
         if best_bucket is not None:
             _, recv = best_bucket.popleft()
             del precvs[recv.desc_id]
+            self.totals.posted -= 1
             return self._pair(send, recv)
 
         self._seq += 1
+        self.totals.unexpected += 1
         entry = (self._seq, send)
         self._usends[send.desc_id] = entry
         _append(self._u_exact, (j, c, d, s, t), entry)
@@ -243,10 +276,12 @@ class HashMatcher(_MatcherBase):
                     if not bucket:
                         del family[key]
                     del usends[send.desc_id]
+                    self.totals.unexpected -= 1
                     return self._pair(send, recv)
             del family[key]
 
         self._seq += 1
+        self.totals.posted += 1
         self._precvs[recv.desc_id] = (self._seq, recv)
         _append(self._p_buckets, (j, c, r, s, t), (self._seq, recv))
         return None
@@ -259,12 +294,15 @@ class HashMatcher(_MatcherBase):
         Rare (failure teardown), so it simply filters the authoritative
         queues and rebuilds the index buckets, preserving arrival seqs.
         """
+        before_u, before_p = len(self._usends), len(self._precvs)
         self._usends = {
             k: v for k, v in self._usends.items() if v[1].job_id != job_id
         }
         self._precvs = {
             k: v for k, v in self._precvs.items() if v[1].job_id != job_id
         }
+        self.totals.unexpected -= before_u - len(self._usends)
+        self.totals.posted -= before_p - len(self._precvs)
         self._u_exact = {}
         self._u_src = {}
         self._u_tag = {}
@@ -315,12 +353,16 @@ Matcher = HashMatcher
 MATCHERS = {"hash": HashMatcher, "linear": LinearMatcher}
 
 
-def make_matcher(kind: str, node_id: int):
-    """Instantiate the matcher implementation named ``kind``."""
+def make_matcher(kind: str, node_id: int, totals: Optional[MatcherTotals] = None):
+    """Instantiate the matcher implementation named ``kind``.
+
+    ``totals`` is an optional shared :class:`MatcherTotals` aggregate
+    (one per runtime); omitted, the matcher keeps a private one.
+    """
     try:
         cls = MATCHERS[kind]
     except KeyError:
         raise ValueError(
             f"unknown matcher {kind!r}; choose from {sorted(MATCHERS)}"
         ) from None
-    return cls(node_id)
+    return cls(node_id, totals)

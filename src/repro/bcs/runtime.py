@@ -22,6 +22,7 @@ from ..core import BcsCore
 from ..network import Cluster
 from ..storm.job import Job, JobSpec, block_placement
 from .config import BcsConfig
+from .matching import MatcherTotals
 from .node_manager import NodeManager
 from .scheduler import SliceScheduler
 from .strobe import StrobeReceiver, StrobeSender
@@ -33,6 +34,27 @@ from .threads import (
     NodeRuntime,
     ReduceHelper,
 )
+
+
+# Retention predicates for the incrementally maintained active-node sets.
+# A node *joins* a set when the corresponding state is created (descriptor
+# post, remote delivery, epoch creation) and is *evicted lazily* when a
+# query finds the predicate false.  Each predicate must be true whenever
+# the set's query predicate is true (it may be a superset — e.g. a
+# collective epoch can become schedulable without any new post, so the
+# collective set retains nodes for as long as any epoch is in flight).
+
+
+def _dem_pending(nrt) -> bool:
+    return bool(nrt.posted_sends or nrt.posted_recvs or nrt.posted_colls)
+
+
+def _arrived_pending(nrt) -> bool:
+    return bool(nrt.arrived_sends)
+
+
+def _coll_pending(nrt) -> bool:
+    return nrt.pending_epochs > 0
 
 
 class HookList:
@@ -184,6 +206,25 @@ class BcsRuntime:
         self.config = config or BcsConfig()
         self.core = BcsCore(cluster)
         self.scheduler = SliceScheduler(self.config, cluster.spec.model.link_bandwidth)
+
+        #: Answer per-slice queries from incremental sets (config flag).
+        self._incremental = self.config.incremental_active_sets
+        #: Machine-wide matcher aggregates, shared by every node matcher.
+        self.matcher_totals = MatcherTotals()
+        # Incrementally maintained active-node id sets (see the module-
+        # level retention predicates).  Maintained unconditionally — the
+        # bookkeeping is O(1) per mutation — so the scan and incremental
+        # query paths can be flipped per run and compared differentially.
+        self._dem_set: set = set()
+        self._arrived_set: set = set()
+        self._coll_set: set = set()
+        self._match_set: set = set()
+        #: Nodes with at least one process waiting on their slice signal.
+        self._slice_waiters: set = set()
+        #: Start time of the current slice (shared by every NodeRuntime;
+        #: written once per slice by the Strobe Sender instead of an
+        #: O(nodes) begin_slice loop).
+        self.slice_start_time = 0
 
         self.node_runtimes: List[NodeRuntime] = [
             NodeRuntime(self, node.id) for node in cluster.compute_nodes
@@ -423,58 +464,126 @@ class BcsRuntime:
         self.stats["jobs_purged"] += 1
 
     # -- slice coordination hooks (called by the Strobe Sender) -------------------------
+    #
+    # Every query below has two implementations returning identical
+    # results: the incremental one reads the lazily pruned active-node
+    # sets (O(members) per slice), the ``*_scan`` one recomputes from
+    # every node runtime (O(cluster) per slice).  The scan path is the
+    # reference oracle — selectable with
+    # ``BcsConfig(incremental_active_sets=False)`` and pinned against the
+    # incremental path by ``tests/bcs/test_active_sets.py``.
+
+    def _prune_live(self, node_set: set, pred) -> bool:
+        """Evict stale members of ``node_set``; True if any remain."""
+        if not node_set:
+            return False
+        rts = self.node_runtimes
+        dead = [n for n in node_set if not pred(rts[n])]
+        if dead:
+            node_set.difference_update(dead)
+        return bool(node_set)
+
+    def _live_sorted(self, node_set: set, pred) -> List[int]:
+        """Sorted live members of ``node_set`` (stale ones evicted)."""
+        self._prune_live(node_set, pred)
+        return sorted(node_set)
 
     def any_work(self) -> bool:
         """Anything at all for this slice's microphases?"""
+        if self.scheduler.in_flight:
+            return True
+        if self._incremental:
+            return (
+                self._prune_live(self._dem_set, _dem_pending)
+                or self._prune_live(self._arrived_set, _arrived_pending)
+                or self._prune_live(self._coll_set, _coll_pending)
+            )
+        return any(nrt.has_work() for nrt in self.node_runtimes)
+
+    def any_work_scan(self) -> bool:
+        """Full-scan oracle for :meth:`any_work`."""
         return bool(self.scheduler.in_flight) or any(
             nrt.has_work() for nrt in self.node_runtimes
         )
 
     def dem_nodes(self) -> List[int]:
         """Nodes with descriptors to drain/exchange."""
+        if self._incremental:
+            return self._live_sorted(self._dem_set, _dem_pending)
+        return self.dem_nodes_scan()
+
+    def dem_nodes_scan(self) -> List[int]:
+        """Full-scan oracle for :meth:`dem_nodes`."""
         return [
             nrt.node_id
             for nrt in self.node_runtimes
             if nrt.posted_sends or nrt.posted_recvs or nrt.posted_colls
         ]
 
+    def _msm_schedulable(self, nrt) -> bool:
+        """Does ``nrt`` host a root with an epoch ready to CaW-schedule?"""
+        for (job_id, comm_id), epochs in nrt.coll_state.items():
+            info = self.comm_info(job_id, comm_id)
+            if info.root_node != nrt.node_id:
+                continue
+            nxt = nrt.sched_flag.get((job_id, comm_id), 0) + 1
+            ep = epochs.get(nxt)
+            if ep is not None and not ep.scheduled and ep.descs:
+                return True
+        return False
+
     def msm_nodes(self) -> List[int]:
         """Nodes with arrived sends to match or collectives to schedule."""
+        if not self._incremental:
+            return self.msm_nodes_scan()
+        out = set(self._live_sorted(self._arrived_set, _arrived_pending))
+        for node_id in self._live_sorted(self._coll_set, _coll_pending):
+            if node_id not in out and self._msm_schedulable(
+                self.node_runtimes[node_id]
+            ):
+                out.add(node_id)
+        return sorted(out)
+
+    def msm_nodes_scan(self) -> List[int]:
+        """Full-scan oracle for :meth:`msm_nodes`."""
         out = []
         for nrt in self.node_runtimes:
             if nrt.arrived_sends:
                 out.append(nrt.node_id)
                 continue
-            for (job_id, comm_id), epochs in nrt.coll_state.items():
-                info = self.comm_info(job_id, comm_id)
-                if info.root_node != nrt.node_id:
-                    continue
-                nxt = nrt.sched_flag.get((job_id, comm_id), 0) + 1
-                ep = epochs.get(nxt)
-                if ep is not None and not ep.scheduled and ep.descs:
-                    out.append(nrt.node_id)
-                    break
+            if self._msm_schedulable(nrt):
+                out.append(nrt.node_id)
         return out
 
+    def _node_has_scheduled(self, nrt, kinds: tuple, driver_only: bool) -> bool:
+        for (job_id, comm_id), epochs in nrt.coll_state.items():
+            info = self.comm_info(job_id, comm_id)
+            for epoch, ep in epochs.items():
+                if ep.executed or ep.kind not in kinds:
+                    continue
+                if not self.core.gas.read(
+                    nrt.node_id, ("go", job_id, comm_id, epoch), False
+                ):
+                    continue
+                if driver_only:
+                    root = ep.root or 0
+                    if info.node_of(root) == nrt.node_id:
+                        return True
+                else:
+                    return True
+        return False
+
     def _nodes_with_scheduled(self, kinds: tuple, driver_only: bool) -> List[int]:
-        out = set()
-        for nrt in self.node_runtimes:
-            for (job_id, comm_id), epochs in nrt.coll_state.items():
-                info = self.comm_info(job_id, comm_id)
-                for epoch, ep in epochs.items():
-                    if ep.executed or ep.kind not in kinds:
-                        continue
-                    if not self.core.gas.read(
-                        nrt.node_id, ("go", job_id, comm_id, epoch), False
-                    ):
-                        continue
-                    if driver_only:
-                        root = ep.root or 0
-                        if info.node_of(root) == nrt.node_id:
-                            out.add(nrt.node_id)
-                    else:
-                        out.add(nrt.node_id)
-        return sorted(out)
+        rts = self.node_runtimes
+        if self._incremental:
+            candidates = self._live_sorted(self._coll_set, _coll_pending)
+        else:
+            candidates = range(len(rts))
+        return [
+            node_id
+            for node_id in candidates
+            if self._node_has_scheduled(rts[node_id], kinds, driver_only)
+        ]
 
     def bbm_nodes(self) -> List[int]:
         """Nodes driving a scheduled barrier/broadcast this slice."""
@@ -486,11 +595,62 @@ class BcsRuntime:
 
     def global_schedule(self):
         """Collect MSM matches and grant this slice's chunks."""
-        for nrt in self.node_runtimes:
-            if nrt.new_matches:
-                self.scheduler.add_matches(nrt.new_matches)
-                nrt.new_matches = []
+        rts = self.node_runtimes
+        if self._incremental:
+            for node_id in sorted(self._match_set):
+                nrt = rts[node_id]
+                if nrt.new_matches:
+                    self.scheduler.add_matches(nrt.new_matches)
+                    nrt.new_matches = []
+        else:
+            for nrt in rts:
+                if nrt.new_matches:
+                    self.scheduler.add_matches(nrt.new_matches)
+                    nrt.new_matches = []
+        self._match_set.clear()
         return self.scheduler.schedule_slice()
+
+    # -- telemetry accessors (read-only; never enter the event queue) -------------------
+
+    def queue_depths(self) -> tuple:
+        """Machine totals ``(posted_sends, posted_recvs, posted_colls,
+        arrived_sends)`` — O(active nodes) on the incremental path."""
+        rts = self.node_runtimes
+        if self._incremental:
+            sends = recvs = colls = 0
+            for node_id in self._live_sorted(self._dem_set, _dem_pending):
+                nrt = rts[node_id]
+                sends += len(nrt.posted_sends)
+                recvs += len(nrt.posted_recvs)
+                colls += len(nrt.posted_colls)
+            arrived = sum(
+                len(rts[n].arrived_sends)
+                for n in self._live_sorted(self._arrived_set, _arrived_pending)
+            )
+            return sends, recvs, colls, arrived
+        sends = recvs = colls = arrived = 0
+        for nrt in rts:
+            sends += len(nrt.posted_sends)
+            recvs += len(nrt.posted_recvs)
+            colls += len(nrt.posted_colls)
+            arrived += len(nrt.arrived_sends)
+        return sends, recvs, colls, arrived
+
+    def matcher_pending_totals(self) -> tuple:
+        """Machine totals ``(unexpected sends, posted receives)``.
+
+        O(1) on the incremental path (the shared aggregate); the scan
+        path polls every node's matcher, as telemetry originally did.
+        """
+        if self._incremental:
+            totals = self.matcher_totals
+            return totals.unexpected, totals.posted
+        unexpected = posted = 0
+        for nrt in self.node_runtimes:
+            u, p = nrt.matcher.pending_counts
+            unexpected += u
+            posted += p
+        return unexpected, posted
 
     def communication_state(self) -> dict:
         """Snapshot of the global communication state.

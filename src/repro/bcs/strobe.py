@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, List
 
-from ..sim import Latch, Store
+from ..sim import Latch, ReusableLatch, ReusableTimeout, Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import BcsRuntime
@@ -95,10 +95,27 @@ class StrobeSender:
         self.runtime = runtime
         self.env = runtime.env
         self._proc = None
+        # Reusable microphase plumbing: one latch, one strobe record and
+        # two timeouts serve every microphase of every slice when tracing
+        # is off.  Safe because the SS is the only holder across cycles —
+        # it always yields the latch/timeouts to completion before
+        # re-arming, and every receiver drops its strobe reference at
+        # count_down time.
+        self._latch = ReusableLatch(self.env)
+        self._strobe = Strobe("", 0, None, self._latch)
+        self._pad = ReusableTimeout(self.env)
+        self._sleep = ReusableTimeout(self.env)
+        #: "bcs.microphase" tracing, sampled once per strobe-loop launch
+        #: (trace categories are fixed at cluster construction); gates
+        #: the per-microphase trace emit and the named-latch allocation.
+        self._trace_on = False
 
     def start(self) -> None:
         """Launch the strobe loop (idempotent)."""
         if self._proc is None or not self._proc.is_alive:
+            self._trace_on = self.runtime.cluster.trace.enabled_for(
+                "bcs.microphase"
+            )
             self._proc = self.env.process(self._run(), name="SS")
 
     def _run(self):
@@ -110,24 +127,40 @@ class StrobeSender:
         node_runtimes = runtime.node_runtimes
         hooks = runtime.on_slice_start
         fast_forward = cfg.idle_fast_forward
+        incremental = runtime._incremental
+        slice_waiters = runtime._slice_waiters
 
         while not runtime.stopped:
             start = env.now
             runtime.slice_no += 1
             runtime.stats["slices"] += 1
-            for nrt in node_runtimes:
-                nrt.begin_slice(start)
-            hooks.fire(runtime.slice_no)
+            runtime.slice_start_time = start
+            if hooks:
+                hooks.fire(runtime.slice_no)
             # Slice boundary: the NM restarts processes whose blocking
-            # operations completed during the previous slice.
-            for nrt in node_runtimes:
-                nrt.slice_start.pulse(runtime.slice_no)
+            # operations completed during the previous slice.  Only
+            # signals with waiters are pulsed (ascending node id — the
+            # historical wake order); the scan mode pulses every node,
+            # preserving the original full-broadcast loop as reference.
+            if incremental:
+                if slice_waiters:
+                    for node_id in sorted(slice_waiters):
+                        node_runtimes[node_id].slice_start.pulse(runtime.slice_no)
+                    slice_waiters.clear()
+            else:
+                for nrt in node_runtimes:
+                    nrt.slice_start.pulse(runtime.slice_no)
+                slice_waiters.clear()
 
+            # Idle short-circuit: settle ``active`` before any telemetry
+            # bookkeeping.  any_work() only reads queues (and prunes the
+            # runtime's lazy sets), so sampling it ahead of slice_begin
+            # is observationally identical to the historical order.
+            active = runtime.any_work()
             obs = runtime.obs
             if obs is not None:
                 obs.slice_begin(runtime.slice_no, start)
 
-            active = runtime.any_work()
             if active:
                 runtime.stats["active_slices"] += 1
                 yield from self._microphase(DEM, runtime.dem_nodes(), mins[DEM])
@@ -172,9 +205,11 @@ class StrobeSender:
                                 obs.idle_skip(
                                     first + 1, start + timeslice, timeslice, skipped
                                 )
-                            yield env.timeout((skipped + 1) * timeslice - elapsed)
+                            yield self._sleep.rearm(
+                                (skipped + 1) * timeslice - elapsed
+                            )
                             continue
-                yield env.timeout(timeslice - elapsed)
+                yield self._sleep.rearm(timeslice - elapsed)
                 overrun = False
             else:
                 runtime.stats["slice_overruns"] += 1
@@ -212,8 +247,20 @@ class StrobeSender:
         if nodes:
             # One latch shared by all participants: the SS resumes when
             # the count reaches zero, without an N-event AllOf fan-in.
-            done = Latch(env, len(nodes), name=f"{phase}:{runtime.slice_no}")
-            strobe = Strobe(phase, runtime.slice_no, payload, done)
+            # With tracing off, the latch, strobe record and pad timeout
+            # are re-armed in place — every receiver drops its reference
+            # at count_down time, and the SS yields each to completion
+            # before the next microphase, so nothing can observe the
+            # reuse (the name f-string only ever served trace debugging).
+            if self._trace_on:
+                done = Latch(env, len(nodes), name=f"{phase}:{runtime.slice_no}")
+                strobe = Strobe(phase, runtime.slice_no, payload, done)
+            else:
+                done = self._latch.rearm(len(nodes))
+                strobe = self._strobe
+                strobe.phase = phase
+                strobe.slice_no = runtime.slice_no
+                strobe.payload = payload
             for node_id in nodes:
                 runtime.receivers[node_id].inbox.put(strobe)
             yield done
@@ -225,12 +272,12 @@ class StrobeSender:
 
         pad = min_duration - (env.now - t0)
         if pad > 0:
-            yield env.timeout(pad)
+            yield self._pad.rearm(pad)
 
         if obs is not None:
             obs.phase_end(phase, runtime.slice_no, t0, env.now, len(nodes))
-        trace = runtime.cluster.trace
-        if trace.enabled_for("bcs.microphase"):
+        if self._trace_on:
+            trace = runtime.cluster.trace
             trace.emit(
                 env.now,
                 "bcs.microphase",

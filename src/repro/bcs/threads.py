@@ -94,6 +94,29 @@ class CollEpoch:
         self.descs.append(desc)
 
 
+class _SliceSignal(Signal):
+    """Slice-boundary signal that registers its node as a wake target.
+
+    The Strobe Sender only pulses signals that have waiters (in
+    ascending node id, preserving the historical wake order); pulsing a
+    waiter-less signal is a no-op, so skipping it cannot change what any
+    process observes.  The first ``wait()`` since the last boundary adds
+    the node to the runtime's wake set.
+    """
+
+    __slots__ = ("_nrt",)
+
+    def __init__(self, nrt: "NodeRuntime"):
+        super().__init__(nrt.env, name=f"n{nrt.node_id}.slice")
+        self._nrt = nrt
+
+    def wait(self):
+        if not self._waiters:
+            nrt = self._nrt
+            nrt.runtime._slice_waiters.add(nrt.node_id)
+        return super().wait()
+
+
 class NodeRuntime:
     """Everything the BCS runtime keeps on one compute node."""
 
@@ -107,16 +130,24 @@ class NodeRuntime:
 
         #: Pulsed by the Strobe Sender at every slice boundary; the Node
         #: Manager uses it to restart processes whose ops completed.
-        self.slice_start = Signal(self.env, name=f"n{node_id}.slice")
-        self.slice_start_time = 0
+        self.slice_start = _SliceSignal(self)
 
         # Descriptor FIFOs (shared-memory post queues, paper §4.5).
         self.posted_sends: List[SendDescriptor] = []
         self.posted_recvs: List[RecvDescriptor] = []
         self.posted_colls: List[CollectiveDescriptor] = []
 
+        # Active-set membership handles (shared with the runtime; a node
+        # joins on the mutation that creates work, leaves lazily when a
+        # query finds it idle — see repro.bcs.runtime).
+        self._dem_set = runtime._dem_set
+        self._arrived_set = runtime._arrived_set
+        self._coll_set = runtime._coll_set
+
         # BR state.
-        self.matcher = make_matcher(self.config.matcher, node_id)
+        self.matcher = make_matcher(
+            self.config.matcher, node_id, runtime.matcher_totals
+        )
         #: Send descriptors delivered by remote BS threads this slice.
         self.arrived_sends: List[SendDescriptor] = []
         #: Matches created in the current MSM (collected by the runtime).
@@ -139,19 +170,27 @@ class NodeRuntime:
         """Append a send descriptor to the NIC FIFO (no system call)."""
         desc.posted_at = self.env.now
         self.posted_sends.append(desc)
+        self._dem_set.add(self.node_id)
         self.runtime.stats["descriptors_posted"] += 1
 
     def post_recv(self, desc: RecvDescriptor) -> None:
         """Append a receive descriptor to the NIC FIFO."""
         desc.posted_at = self.env.now
         self.posted_recvs.append(desc)
+        self._dem_set.add(self.node_id)
         self.runtime.stats["descriptors_posted"] += 1
 
     def post_collective(self, desc: CollectiveDescriptor) -> None:
         """Append a collective descriptor to the NIC FIFO."""
         desc.posted_at = self.env.now
         self.posted_colls.append(desc)
+        self._dem_set.add(self.node_id)
         self.runtime.stats["descriptors_posted"] += 1
+
+    def deliver_send(self, desc: SendDescriptor) -> None:
+        """Accept a send descriptor shipped by a remote Buffer Sender."""
+        self.arrived_sends.append(desc)
+        self._arrived_set.add(self.node_id)
 
     def has_work(self) -> bool:
         """Anything for the next slice's microphases to do on this node?"""
@@ -163,9 +202,15 @@ class NodeRuntime:
             or self.pending_epochs
         )
 
-    def begin_slice(self, slice_start_time: int) -> None:
-        """Mark the new slice; the NM wake pulse is sent by the strobe."""
-        self.slice_start_time = slice_start_time
+    @property
+    def slice_start_time(self) -> int:
+        """Start time of the current slice.
+
+        Shared machine state written once per slice by the Strobe Sender
+        (``runtime.slice_start_time``) — the per-node ``begin_slice``
+        loop it replaces cost O(nodes) per slice on idle clusters.
+        """
+        return self.runtime.slice_start_time
 
     def _drain_posted(self, queue: list) -> list:
         """Remove and return descriptors posted before this slice's DEM.
@@ -190,6 +235,7 @@ class NodeRuntime:
             ep = CollEpoch(epoch)
             epochs[epoch] = ep
             self.pending_epochs += 1
+            self._coll_set.add(self.node_id)
         return ep
 
     def complete_collective(self, job_id: int, comm_id: int, epoch: int, value) -> None:
@@ -244,7 +290,7 @@ class BufferSender:
             yield from runtime.cluster.fabric.unicast(
                 nrt.node_id, dst_node, nrt.config.descriptor_bytes, label="desc"
             )
-            runtime.node_rt(dst_node).arrived_sends.append(desc)
+            runtime.node_rt(dst_node).deliver_send(desc)
             runtime.stats["descriptors_exchanged"] += 1
 
 
@@ -329,6 +375,7 @@ class BufferReceiver:
         info = nrt.runtime.comm_info(match.send.job_id, match.send.comm_id)
         match.src_node = info.node_of(match.send.src_rank)
         nrt.new_matches.append(match)
+        nrt.runtime._match_set.add(nrt.node_id)
         nrt.runtime.stats["matches_created"] += 1
 
 

@@ -19,6 +19,7 @@ from .points import (
     EXTENSION_FAMILIES,
     FAMILIES,
     FIGURE_FAMILIES,
+    SCALING_FAMILIES,
     Family,
     PointSpec,
     execute_point,
@@ -38,6 +39,7 @@ __all__ = [
     "PointOutcome",
     "PointSpec",
     "ResultStore",
+    "SCALING_FAMILIES",
     "WorkerPool",
     "code_fingerprint",
     "execute_point",

@@ -23,7 +23,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..harness.report import print_table
-from .points import EXTENSION_FAMILIES, FAMILIES, FIGURE_FAMILIES, PRESETS
+from .points import (
+    EXTENSION_FAMILIES,
+    FAMILIES,
+    FIGURE_FAMILIES,
+    PRESETS,
+    SCALING_FAMILIES,
+)
 from .service import FarmReport, run_farm
 from .store import ResultStore, default_store_path
 
@@ -160,7 +166,8 @@ def cmd_figures(args) -> int:
     if unknown:
         print(f"unknown family(ies): {', '.join(unknown)}", file=sys.stderr)
         print(
-            f"choose from: {', '.join(FIGURE_FAMILIES + EXTENSION_FAMILIES)}",
+            "choose from: "
+            + ", ".join(FIGURE_FAMILIES + EXTENSION_FAMILIES + SCALING_FAMILIES),
             file=sys.stderr,
         )
         return 2
@@ -198,7 +205,7 @@ def cmd_figures(args) -> int:
 
 def cmd_list(args) -> int:
     rows = []
-    for name in FIGURE_FAMILIES + EXTENSION_FAMILIES:
+    for name in FIGURE_FAMILIES + EXTENSION_FAMILIES + SCALING_FAMILIES:
         specs = FAMILIES[name].specs(
             FAMILIES[name].smoke if args.preset == "smoke" else None
         )

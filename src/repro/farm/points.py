@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..harness import experiments as E
 from ..harness import extensions as X
+from ..harness import scaling as S
 from ..units import MiB
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "FIGURE_FAMILIES",
     "Family",
     "PointSpec",
+    "SCALING_FAMILIES",
     "execute_point",
     "expand_family",
     "family_specs",
@@ -254,6 +256,29 @@ def _expand_ext_noise(
     ]
 
 
+# --- scaling study (simulator throughput; rows carry wall-clock fields) ------
+
+
+def _expand_scaling1024(
+    node_counts: Sequence[int] = (128, 256, 512, 1024),
+    networks: Sequence[str] = S.SCALING_NETWORKS,
+    active_ranks: int = 8,
+    iterations: int = 60,
+    granularity_us: float = 400.0,
+) -> List[dict]:
+    return [
+        dict(
+            network=m,
+            n_nodes=n,
+            active_ranks=active_ranks,
+            iterations=iterations,
+            granularity_us=granularity_us,
+        )
+        for m in networks
+        for n in node_counts
+    ]
+
+
 # --- selftest family (test hook: controllable success/hang/crash) -----------
 
 
@@ -299,6 +324,12 @@ FIGURE_FAMILIES: Tuple[str, ...] = (
 #: default ``repro farm figures`` set; run them by name or with
 #: ``--extensions``.
 EXTENSION_FAMILIES: Tuple[str, ...] = ("ext_ft", "ext_pfs_qos", "ext_noise")
+
+#: Simulator-throughput studies.  Their rows include *host wall-clock*
+#: fields (slices/sec, speedup), so they are deliberately outside the
+#: deterministic figure set and never part of ``repro farm figures``
+#: defaults; run them by name (``repro farm figures scaling1024``).
+SCALING_FAMILIES: Tuple[str, ...] = ("scaling1024",)
 
 FAMILIES: Dict[str, Family] = {
     f.name: f
@@ -400,6 +431,13 @@ FAMILIES: Dict[str, Family] = {
             _expand_ext_noise,
             X.ext_noise_point,
             smoke=dict(n_ranks=8, iterations=8),
+        ),
+        Family(
+            "scaling1024",
+            "Scaling: strobe hot path, 128-1024 nodes, fat tree vs 3D torus",
+            _expand_scaling1024,
+            S.scaling_point,
+            smoke=dict(node_counts=(128,), iterations=12),
         ),
         Family(
             "selftest",

@@ -1,0 +1,115 @@
+"""The 1024-node scaling study: simulator throughput vs machine size.
+
+The BCS design brief is a machine one order of magnitude past the
+paper's 62-node testbed, so the simulator itself must stay usable at
+1024 nodes.  The dominant cost at that scale used to be the strobe
+loop's per-slice full scans — every slice touched every
+``NodeRuntime`` even when one small job was active.  This study pins
+the fix: it runs one small barrier job (a realistic "mostly idle
+machine" shape) on clusters of growing size and measures *simulator
+wall-clock* slices/sec with the incremental active sets on
+(``BcsConfig.incremental_active_sets=True``, the default) against the
+historical full-scan path, asserting virtual timings stay identical.
+
+Rows are JSON-safe so :mod:`repro.farm.points` can register the study
+as the ``scaling1024`` family.  Wall-clock fields are measurements of
+*this host*, not of the simulated machine — the family therefore stays
+out of the deterministic figure set.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from ..apps import barrier_benchmark
+from ..bcs import BcsConfig, BcsRuntime
+from ..network import Cluster, ClusterSpec, by_name
+from ..storm import JobSpec
+from ..units import seconds, us
+
+__all__ = ["SCALING_NETWORKS", "scaling_point", "scaling_rows"]
+
+#: Network models exercised by the study, in row order: the paper's
+#: testbed fabric and the BlueGene/L torus it anticipates.
+SCALING_NETWORKS = ("qsnet", "bluegene_l_torus")
+
+
+def _timed_run(
+    network: str,
+    n_nodes: int,
+    active_ranks: int,
+    iterations: int,
+    granularity_us: float,
+    incremental: bool,
+):
+    """One job on a fresh ``n_nodes`` cluster; returns (virtual_ns, slices, wall_s)."""
+    cluster = Cluster(ClusterSpec(n_nodes=n_nodes, model=by_name(network)))
+    cfg = BcsConfig(init_cost=0, incremental_active_sets=incremental)
+    runtime = BcsRuntime(cluster, cfg)
+    spec = JobSpec(
+        app=barrier_benchmark,
+        n_ranks=active_ranks,
+        name="scaling",
+        params=dict(granularity=us(granularity_us), iterations=iterations),
+    )
+    t0 = time.perf_counter()
+    job = runtime.run_job(spec, max_time=seconds(3600))
+    wall_s = time.perf_counter() - t0
+    return job.runtime, runtime.stats["slices"], wall_s
+
+
+def scaling_point(
+    network: str = "qsnet",
+    n_nodes: int = 1024,
+    active_ranks: int = 8,
+    iterations: int = 60,
+    granularity_us: float = 400.0,
+) -> dict:
+    """One scaling row: incremental active sets vs the full-scan oracle.
+
+    Both runs simulate the identical workload — ``active_ranks`` ranks
+    of the barrier benchmark on an ``n_nodes``-node cluster — and must
+    agree on virtual time and slice count to the byte; only the host
+    wall-clock (and hence ``speedup``) may differ.
+    """
+    # Warm both code paths on a toy cluster so the first timed run does
+    # not absorb the interpreter's cold-start cost (farm workers are
+    # fresh processes).
+    for warm in (True, False):
+        _timed_run(network, 8, 2, 2, granularity_us, warm)
+    inc_ns, inc_slices, inc_wall = _timed_run(
+        network, n_nodes, active_ranks, iterations, granularity_us, True
+    )
+    scan_ns, scan_slices, scan_wall = _timed_run(
+        network, n_nodes, active_ranks, iterations, granularity_us, False
+    )
+    return {
+        "network": network,
+        "n_nodes": n_nodes,
+        "active_ranks": active_ranks,
+        "iterations": iterations,
+        "virtual_ms": inc_ns / 1e6,
+        "slices": inc_slices,
+        "slices_per_sec": inc_slices / inc_wall if inc_wall > 0 else 0.0,
+        "scan_slices_per_sec": scan_slices / scan_wall if scan_wall > 0 else 0.0,
+        "speedup": scan_wall / inc_wall if inc_wall > 0 else 0.0,
+        "virtual_identical": inc_ns == scan_ns and inc_slices == scan_slices,
+        "wall_s": inc_wall,
+        "scan_wall_s": scan_wall,
+    }
+
+
+def scaling_rows(
+    node_counts: Sequence[int] = (128, 256, 512, 1024),
+    networks: Sequence[str] = SCALING_NETWORKS,
+    active_ranks: int = 8,
+    iterations: int = 60,
+    granularity_us: float = 400.0,
+) -> List[dict]:
+    """The full scaling table (network-major, node-count-minor order)."""
+    return [
+        scaling_point(m, n, active_ranks, iterations, granularity_us)
+        for m in networks
+        for n in node_counts
+    ]

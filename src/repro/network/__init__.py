@@ -6,6 +6,7 @@ from .model import (
     MODELS,
     NetworkModel,
     bluegene_l,
+    bluegene_l_torus,
     by_name,
     gigabit_ethernet,
     infiniband,
@@ -13,7 +14,7 @@ from .model import (
     qsnet,
 )
 from .nic import Nic, NicEvent
-from .topology import FatTree
+from .topology import FatTree, Torus3D, build_topology
 
 __all__ = [
     "Cluster",
@@ -25,7 +26,10 @@ __all__ = [
     "Nic",
     "NicEvent",
     "Node",
+    "Torus3D",
     "bluegene_l",
+    "bluegene_l_torus",
+    "build_topology",
     "by_name",
     "gigabit_ethernet",
     "infiniband",

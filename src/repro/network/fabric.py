@@ -25,7 +25,7 @@ from ..sim import Engine, Trace
 from ..units import bw_time
 from .model import NetworkModel
 from .nic import Nic
-from .topology import FatTree
+from .topology import build_topology
 
 
 class Fabric:
@@ -41,7 +41,9 @@ class Fabric:
         self.env = env
         self.model = model
         self.nics = list(nics)
-        self.tree = FatTree(len(self.nics), radix=model.radix)
+        self.tree = build_topology(
+            model.topology, len(self.nics), radix=model.radix
+        )
         self.trace = trace
         #: Total payload bytes moved (excluding headers), for reporting.
         self.bytes_moved = 0

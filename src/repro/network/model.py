@@ -54,6 +54,9 @@ class NetworkModel:
     header_bytes: int = 64
     #: Switch radix for the fat-tree topology (QsNet Elite is 4-ary).
     radix: int = 4
+    #: Topology family the fabric routes over (``repro.network.topology``
+    #: registry name): ``"fattree"`` or ``"torus3d"``.
+    topology: str = "fattree"
 
     def latency(self, hops: int) -> int:
         """One-way latency (ns) across ``hops`` switch stages."""
@@ -183,6 +186,33 @@ def bluegene_l() -> NetworkModel:
     )
 
 
+def bluegene_l_torus() -> NetworkModel:
+    """BlueGene/L with its 3D-torus data network routed explicitly.
+
+    The plain ``bluegene_l`` model treats the machine as its tree
+    network; this variant moves point-to-point traffic over the 3D torus
+    (175 MB/s per link direction, wraparound Manhattan routing) while
+    collectives — hardware multicast and Compare-And-Write — keep the
+    dedicated tree/interrupt networks' characteristics, which is how the
+    real machine splits its traffic.
+    """
+    return NetworkModel(
+        name="bluegene_l_torus",
+        link_bandwidth=175 * MB,
+        base_latency=us(1.5),
+        per_hop_latency=us(0.1),
+        mcast_bandwidth=350 * MB,
+        hw_multicast=True,
+        hw_conditional=True,
+        cw_base_latency=us(1.2),
+        cw_log_latency=us(0.05),
+        dma_startup=us(0.5),
+        header_bytes=32,
+        radix=4,
+        topology="torus3d",
+    )
+
+
 #: Registry of all Table 1 network models by name.
 MODELS = {
     "qsnet": qsnet,
@@ -190,6 +220,7 @@ MODELS = {
     "myrinet": myrinet,
     "infiniband": infiniband,
     "bluegene_l": bluegene_l,
+    "bluegene_l_torus": bluegene_l_torus,
 }
 
 

@@ -1,10 +1,12 @@
-"""Fat-tree topology (QsNet Elite style).
+"""Interconnect topologies: QsNet-style fat tree and BlueGene/L 3D torus.
 
 QsNet builds quaternary fat trees: each Elite switch has 8 links, 4 down
 and 4 up.  Nodes are leaves; the distance between two nodes is twice the
-number of levels to their lowest common ancestor.  We only need hop counts
-(for latency) and stage counts (for multicast depth), so the topology is
-computed arithmetically rather than materialized as a graph.
+number of levels to their lowest common ancestor.  BlueGene/L moves bulk
+data over a 3D torus where the distance is the wraparound Manhattan
+metric.  We only need hop counts (for latency) and stage counts (for
+multicast depth), so both topologies are computed arithmetically rather
+than materialized as graphs.
 """
 
 from __future__ import annotations
@@ -81,3 +83,126 @@ class FatTree:
 
     def __repr__(self) -> str:
         return f"<FatTree n={self.n_nodes} radix={self.radix} levels={self.levels}>"
+
+
+def _near_cubic_dims(n: int) -> tuple:
+    """Smallest near-cubic ``(dx, dy, dz)`` with ``dx*dy*dz >= n``.
+
+    Mirrors how BlueGene/L partitions are carved: as close to a cube as
+    the node count allows (1024 nodes plus a management node fits in
+    11 x 10 x 10).  Axes are sorted descending so the mapping is stable.
+    """
+    if n <= 1:
+        return (1, 1, 1)
+    dx = max(1, math.ceil(n ** (1.0 / 3.0)))
+    # ceil can land one too high on exact cubes (floating error).
+    while (dx - 1) ** 3 >= n:
+        dx -= 1
+    dy = max(1, math.ceil(math.sqrt(n / dx)))
+    while dy > 1 and dx * (dy - 1) * (dy - 1) >= n:
+        dy -= 1
+    dz = max(1, math.ceil(n / (dx * dy)))
+    return tuple(sorted((dx, dy, dz), reverse=True))
+
+
+@dataclass(frozen=True)
+class Torus3D:
+    """A 3D torus (BlueGene/L style) over ``n_nodes`` row-major slots.
+
+    ``dims`` defaults to the smallest near-cubic box covering all nodes;
+    slots past ``n_nodes`` are simply unpopulated.  Distance is the
+    wraparound Manhattan metric.  Routing state is precomputed once —
+    node coordinates plus a per-axis circular-distance table — so
+    ``hops`` is three table lookups with no per-pair cache to grow: the
+    whole route table for a 1024-node machine is ~3k small integers.
+    """
+
+    n_nodes: int
+    dims: tuple = ()
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        dims = self.dims or _near_cubic_dims(self.n_nodes)
+        dims = tuple(int(d) for d in dims)
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise ValueError(f"dims must be three positive extents: {dims!r}")
+        if dims[0] * dims[1] * dims[2] < self.n_nodes:
+            raise ValueError(
+                f"dims {dims} hold {dims[0] * dims[1] * dims[2]} slots, "
+                f"need {self.n_nodes}"
+            )
+        object.__setattr__(self, "dims", dims)
+        dx, dy, dz = dims
+        coords = []
+        for node in range(self.n_nodes):
+            x, rem = divmod(node, dy * dz)
+            y, z = divmod(rem, dz)
+            coords.append((x, y, z))
+        # Undeclared caches on the frozen dataclass (as in FatTree):
+        # stay out of __eq__/__repr__.
+        object.__setattr__(self, "_coords", tuple(coords))
+        object.__setattr__(
+            self,
+            "_axis_dist",
+            tuple(
+                tuple(min(d, dim - d) for d in range(dim)) for dim in dims
+            ),
+        )
+
+    def hops(self, a: int, b: int) -> int:
+        """Wraparound Manhattan distance between nodes ``a`` and ``b``."""
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        ax, ay, az = self._coords[a]
+        bx, by, bz = self._coords[b]
+        dist = self._axis_dist
+        return (
+            dist[0][abs(ax - bx)]
+            + dist[1][abs(ay - by)]
+            + dist[2][abs(az - bz)]
+        )
+
+    def multicast_hops(self, n_dests: int) -> int:
+        """Stages to reach ``n_dests`` nodes: radius of the covering box.
+
+        BlueGene/L control multicasts ride the dedicated tree network,
+        but a torus-local spanning broadcast is bounded by the radius of
+        the smallest sub-torus holding the destinations.
+        """
+        if n_dests <= 1:
+            return 2
+        sub = _near_cubic_dims(min(n_dests, self.n_nodes))
+        return max(2, sum(d // 2 for d in sub))
+
+    def max_hops(self) -> int:
+        """Network diameter: sum of the per-axis wraparound radii."""
+        return sum(d // 2 for d in self.dims)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise IndexError(f"node {node} outside [0, {self.n_nodes})")
+
+    def __repr__(self) -> str:
+        dx, dy, dz = self.dims
+        return f"<Torus3D n={self.n_nodes} dims={dx}x{dy}x{dz}>"
+
+
+#: Topology constructors by registry name (NetworkModel.topology).
+TOPOLOGIES = {
+    "fattree": lambda n_nodes, radix: FatTree(n_nodes, radix=radix),
+    "torus3d": lambda n_nodes, radix: Torus3D(n_nodes),
+}
+
+
+def build_topology(kind: str, n_nodes: int, radix: int = 4):
+    """Construct the topology named ``kind`` over ``n_nodes`` nodes."""
+    try:
+        factory = TOPOLOGIES[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {kind!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None
+    return factory(n_nodes, radix)

@@ -6,7 +6,16 @@ processes are generator coroutines that yield :class:`Event` objects.
 
 from .engine import Engine
 from .errors import Deadlock, EventAlreadyTriggered, Interrupt, SimError
-from .events import AllOf, AnyOf, Condition, Event, Latch, Timeout
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Latch,
+    ReusableLatch,
+    ReusableTimeout,
+    Timeout,
+)
 from .process import Process
 from .resources import Gate, Resource, Signal, Store
 from .rng import RngRegistry, derive_seed
@@ -26,6 +35,8 @@ __all__ = [
     "NullTrace",
     "Process",
     "Resource",
+    "ReusableLatch",
+    "ReusableTimeout",
     "RngRegistry",
     "Signal",
     "SimError",

@@ -8,6 +8,7 @@ from repro.farm.points import (
     EXTENSION_FAMILIES,
     FAMILIES,
     FIGURE_FAMILIES,
+    SCALING_FAMILIES,
     PointSpec,
     execute_point,
     expand_family,
@@ -52,6 +53,27 @@ def test_extension_families_registered_but_not_in_figure_set():
         assert name in FAMILIES
         assert name not in FIGURE_FAMILIES
         assert FAMILIES[name].title.startswith("Extension:")
+
+
+def test_scaling_family_registered_but_not_in_figure_set():
+    assert SCALING_FAMILIES == ("scaling1024",)
+    for name in SCALING_FAMILIES:
+        assert name in FAMILIES
+        assert name not in FIGURE_FAMILIES
+        assert name not in EXTENSION_FAMILIES
+
+
+def test_scaling1024_expansion():
+    specs = expand_family("scaling1024", "paper")
+    # 2 networks x 4 power-of-two node counts, network-major order.
+    assert len(specs) == 8
+    params = [s.params_dict for s in specs]
+    assert [p["n_nodes"] for p in params] == [128, 256, 512, 1024] * 2
+    assert {p["network"] for p in params} == {"qsnet", "bluegene_l_torus"}
+    assert [s.index for s in specs] == list(range(8))
+    # smoke keeps only the cheap 128-node pair for CI.
+    smoke = expand_family("scaling1024", "smoke")
+    assert [p.params_dict["n_nodes"] for p in smoke] == [128, 128]
 
 
 @pytest.mark.parametrize("name", sorted(EXTENSION_COUNTS))

@@ -212,3 +212,19 @@ def test_conditional_costs_cw_latency():
 
     t = cl.run(until=cl.env.process(body()))
     assert t == cl.spec.model.cw_latency(cl.fabric.n_nodes)
+
+
+def test_fabric_builds_model_topology():
+    from repro.network import Torus3D, by_name
+
+    cl = Cluster(ClusterSpec(n_nodes=8, model=by_name("bluegene_l_torus")))
+    assert isinstance(cl.fabric.tree, Torus3D)
+    done = []
+
+    def body():
+        yield from cl.fabric.unicast(0, 5, 4 * KiB)
+        done.append(cl.env.now)
+
+    cl.env.process(body())
+    cl.run()
+    assert done and done[0] > 0

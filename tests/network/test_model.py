@@ -8,7 +8,14 @@ from repro.units import us
 
 
 def test_registry_contains_all_table1_rows():
-    assert set(MODELS) == {"qsnet", "gige", "myrinet", "infiniband", "bluegene_l"}
+    assert set(MODELS) == {
+        "qsnet",
+        "gige",
+        "myrinet",
+        "infiniband",
+        "bluegene_l",
+        "bluegene_l_torus",
+    }
 
 
 def test_by_name_roundtrip_and_error():
@@ -68,3 +75,11 @@ def test_qsnet_bandwidth_matches_table1_magnitude():
 def test_cw_latency_single_node_is_base():
     model = qsnet()
     assert model.cw_latency(1) == model.cw_base_latency
+
+
+def test_bluegene_l_torus_routes_over_torus():
+    model = by_name("bluegene_l_torus")
+    assert model.topology == "torus3d"
+    # The other Table 1 rows keep the fat tree.
+    for name in ("qsnet", "gige", "myrinet", "infiniband", "bluegene_l"):
+        assert by_name(name).topology == "fattree"

@@ -68,3 +68,90 @@ def test_invalid_construction():
         FatTree(0)
     with pytest.raises(ValueError):
         FatTree(4, radix=1)
+
+
+# -- 3D torus (BlueGene/L style) ----------------------------------------------
+
+
+from repro.network import Torus3D, build_topology  # noqa: E402
+from repro.network.topology import _near_cubic_dims  # noqa: E402
+
+
+def test_torus_same_node_zero_hops():
+    torus = Torus3D(64)
+    assert torus.hops(5, 5) == 0
+
+
+def test_torus_axis_neighbors():
+    torus = Torus3D(27, dims=(3, 3, 3))
+    # Row-major: node 0 = (0,0,0); z-neighbour 1, y-neighbour 3, x-neighbour 9.
+    assert torus.hops(0, 1) == 1
+    assert torus.hops(0, 3) == 1
+    assert torus.hops(0, 9) == 1
+
+
+def test_torus_wraparound():
+    torus = Torus3D(64, dims=(4, 4, 4))
+    # (0,0,0) to (3,0,0): one hop backwards around the x ring, not 3.
+    assert torus.hops(0, 48) == 1
+    # (0,0,0) to (2,2,2): distance 2 on each axis (no shortcut).
+    assert torus.hops(0, 42) == 6
+    assert torus.max_hops() == 6
+
+
+def test_torus_symmetric():
+    torus = Torus3D(100)
+    for a, b in [(0, 99), (17, 45), (3, 76)]:
+        assert torus.hops(a, b) == torus.hops(b, a)
+        assert 0 < torus.hops(a, b) <= torus.max_hops()
+
+
+def test_torus_1025_dims_cover_management_node():
+    # 1024 compute nodes + the management node.
+    torus = Torus3D(1025)
+    dx, dy, dz = torus.dims
+    assert dx * dy * dz >= 1025
+    assert max(torus.dims) - min(torus.dims) <= 2  # near-cubic
+    assert torus.hops(0, 1024) <= torus.max_hops()
+
+
+def test_torus_near_cubic_dims():
+    assert _near_cubic_dims(1) == (1, 1, 1)
+    assert _near_cubic_dims(8) == (2, 2, 2)
+    assert _near_cubic_dims(27) == (3, 3, 3)
+    assert _near_cubic_dims(1000) == (10, 10, 10)
+    for n in (2, 5, 63, 129, 500, 1025):
+        dims = _near_cubic_dims(n)
+        assert dims[0] * dims[1] * dims[2] >= n
+
+
+def test_torus_multicast_and_diameter():
+    torus = Torus3D(512, dims=(8, 8, 8))
+    assert torus.max_hops() == 12
+    assert torus.multicast_hops(1) == 2
+    assert torus.multicast_hops(8) <= torus.multicast_hops(512)
+    assert torus.multicast_hops(512) == 12
+
+
+def test_torus_out_of_range_rejected():
+    torus = Torus3D(8)
+    with pytest.raises(IndexError):
+        torus.hops(0, 8)
+    with pytest.raises(IndexError):
+        torus.hops(-1, 0)
+
+
+def test_torus_invalid_construction():
+    with pytest.raises(ValueError):
+        Torus3D(0)
+    with pytest.raises(ValueError):
+        Torus3D(9, dims=(2, 2, 2))  # 8 slots < 9 nodes
+    with pytest.raises(ValueError):
+        Torus3D(4, dims=(2, 2))  # not three extents
+
+
+def test_build_topology_registry():
+    assert isinstance(build_topology("fattree", 16, radix=4), FatTree)
+    assert isinstance(build_topology("torus3d", 16), Torus3D)
+    with pytest.raises(KeyError):
+        build_topology("hypercube", 16)
