@@ -39,4 +39,63 @@ python -m repro.harness.cli metrics fig8 --ranks 8 | tee "$workdir/metrics.txt"
 grep -q "bcs.microphase.duration_ns" "$workdir/metrics.txt"
 grep -q "@--- MPI Time" "$workdir/metrics.txt"
 
+echo "== critical-path explain =="
+python -m repro.harness.cli explain fig8 --ranks 8 \
+    --json "$workdir/blame.json" --trace "$workdir/flow.json" \
+    | tee "$workdir/explain.txt"
+grep -q "critical path of fig8" "$workdir/explain.txt"
+
+echo "== blame-report validation =="
+python - "$workdir/blame.json" <<'EOF'
+import json, sys
+
+payload = json.load(open(sys.argv[1]))
+assert payload["schema"] == 1, "unexpected blame schema"
+cats = payload["categories_ns"]
+assert sum(cats.values()) == payload["makespan_ns"], (
+    "blame categories must sum to the makespan exactly"
+)
+assert sum(payload["per_rank_ns"].values()) == payload["makespan_ns"]
+assert abs(sum(payload["shares"].values()) - 1.0) < 1e-4
+assert payload["counts"]["collectives"] > 0, "fig8 must trace collectives"
+assert payload["chains"], "no chains on the critical path"
+print(f"ok: blame sums to {payload['makespan_ns']} ns across {len(cats)} categories")
+EOF
+
+echo "== flow-event validation (p2p run) =="
+python -m repro.harness.cli explain fig8-p2p --ranks 8 \
+    --trace "$workdir/flow-p2p.json" > /dev/null
+python - "$workdir/flow-p2p.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+flows = [e for e in events if e.get("cat") == "msgflow"]
+assert flows, "p2p trace must carry message flow events"
+by_id = {}
+for e in flows:
+    by_id.setdefault(e["id"], []).append(e["ph"])
+assert all(sorted(v) == ["f", "s", "t"] for v in by_id.values()), (
+    "every flow id needs a start/step/end triple"
+)
+# Containment in integer nanoseconds: float microsecond addition loses
+# the last digit exactly at span edges.
+ns = lambda v: round(v * 1000)
+spans = [e for e in events if e.get("ph") == "X"]
+for e in flows:
+    t = ns(e["ts"])
+    assert any(
+        x["pid"] == e["pid"] and x["tid"] == e["tid"]
+        and ns(x["ts"]) <= t <= ns(x["ts"]) + ns(x["dur"])
+        for x in spans
+    ), f"flow event at {t} ns resolves to no real slice span"
+print(f"ok: {len(flows)} flow events over {len(by_id)} messages, all inside real spans")
+EOF
+
+echo "== explain determinism (two same-seed runs) =="
+python -m repro.harness.cli explain fig8 --ranks 8 \
+    --json "$workdir/blame2.json" > /dev/null
+cmp "$workdir/blame.json" "$workdir/blame2.json"
+echo "ok: byte-identical"
+
 echo "smoke_obs: all checks passed"

@@ -74,10 +74,13 @@ class BcsApi:
             stats["messages"] += 1
             stats["bytes"] += nbytes
         obs = self.runtime.obs
-        if obs is not None and obs.profiler is not None:
-            obs.profiler.record_post(
-                info.job.id, handle.world_rank, "send", nbytes
-            )
+        if obs is not None:
+            if obs.profiler is not None:
+                obs.profiler.record_post(
+                    info.job.id, handle.world_rank, "send", nbytes
+                )
+            if obs.spans is not None:
+                obs.spans.send_posted(desc, info.job.id, handle.world_rank)
         if self.runtime.config.buffered_sends:
             # Buffered coscheduling: the payload is snapshotted at post
             # time and the send buffer is immediately reusable, so the
@@ -113,8 +116,11 @@ class BcsApi:
         handle.nrt.post_recv(desc)
         handle.pending_overhead += self.runtime.config.descriptor_post_cost
         obs = self.runtime.obs
-        if obs is not None and obs.profiler is not None:
-            obs.profiler.record_post(info.job.id, handle.world_rank, "recv", 0)
+        if obs is not None:
+            if obs.profiler is not None:
+                obs.profiler.record_post(info.job.id, handle.world_rank, "recv", 0)
+            if obs.spans is not None:
+                obs.spans.recv_posted(desc, info.job.id, handle.world_rank)
         return req
 
     def post_collective(
@@ -152,10 +158,13 @@ class BcsApi:
         if stats is not None:
             stats["collectives"] += 1
         obs = self.runtime.obs
-        if obs is not None and obs.profiler is not None:
-            obs.profiler.record_post(
-                info.job.id, handle.world_rank, kind, desc.size
-            )
+        if obs is not None:
+            if obs.profiler is not None:
+                obs.profiler.record_post(
+                    info.job.id, handle.world_rank, kind, desc.size
+                )
+            if obs.spans is not None:
+                obs.spans.coll_posted(desc, info.job.id, handle.world_rank)
         return req
 
     # -- tests / waits ------------------------------------------------------------------
@@ -202,11 +211,16 @@ class BcsApi:
             if stats is not None:
                 stats["blocked_ns"] += blocked
         obs = self.runtime.obs
-        if obs is not None and obs.profiler is not None:
-            op = f"wait({reqs[0].kind})" if reqs else "wait"
-            obs.profiler.record_wait(
-                handle.job.id, handle.world_rank, op, t0, self.env.now
-            )
+        if obs is not None:
+            if obs.profiler is not None:
+                op = f"wait({reqs[0].kind})" if reqs else "wait"
+                obs.profiler.record_wait(
+                    handle.job.id, handle.world_rank, op, t0, self.env.now
+                )
+            if obs.spans is not None and blocked:
+                obs.spans.rank_wait(
+                    handle.job.id, handle.world_rank, reqs, t0, self.env.now
+                )
 
     def probe(self, handle: "RankHandle", info, rank, source, tag) -> bool:
         """bcs_probe(non-blocking): is a matching message pending?

@@ -202,6 +202,11 @@ class Match:
     #: scheduled into whatever budget user traffic leaves over — the
     #: QoS guarantee a single global scheduler provides (paper §1).
     system: bool = False
+    #: Which descriptor completed the pair: "send" (an arrival met a
+    #: posted receive) or "recv" (a post drained an unexpected send).
+    #: Causal attribution for span tracing; empty for system matches
+    #: built outside the matchers.
+    matched_via: str = ""
 
     @property
     def remaining(self) -> int:

@@ -85,7 +85,7 @@ class _MatcherBase:
 
     node_id: int
 
-    def _pair(self, send: SendDescriptor, recv: RecvDescriptor) -> Match:
+    def _pair(self, send: SendDescriptor, recv: RecvDescriptor, via: str) -> Match:
         if send.size > recv.capacity:
             raise TruncationError(
                 f"message of {send.size} B from rank {send.src_rank} "
@@ -98,6 +98,7 @@ class _MatcherBase:
             src_node=-1,  # filled in by the runtime, which knows placement
             dst_node=self.node_id,
             total_bytes=send.size,
+            matched_via=via,
         )
 
     @property
@@ -135,7 +136,7 @@ class LinearMatcher(_MatcherBase):
             if recv.matches(send):
                 del self.posted[i]
                 self.totals.posted -= 1
-                return self._pair(send, recv)
+                return self._pair(send, recv, "send")
         self.unexpected.append(send)
         self.totals.unexpected += 1
         return None
@@ -146,7 +147,7 @@ class LinearMatcher(_MatcherBase):
             if recv.matches(send):
                 del self.unexpected[i]
                 self.totals.unexpected -= 1
-                return self._pair(send, recv)
+                return self._pair(send, recv, "recv")
         self.posted.append(recv)
         self.totals.posted += 1
         return None
@@ -241,7 +242,7 @@ class HashMatcher(_MatcherBase):
             _, recv = best_bucket.popleft()
             del precvs[recv.desc_id]
             self.totals.posted -= 1
-            return self._pair(send, recv)
+            return self._pair(send, recv, "send")
 
         self._seq += 1
         self.totals.unexpected += 1
@@ -277,7 +278,7 @@ class HashMatcher(_MatcherBase):
                         del family[key]
                     del usends[send.desc_id]
                     self.totals.unexpected -= 1
-                    return self._pair(send, recv)
+                    return self._pair(send, recv, "recv")
             del family[key]
 
         self._seq += 1

@@ -355,10 +355,14 @@ class BcsRuntime:
         from ..sim.errors import Interrupt
 
         try:
+            t_launch = self.env.now
             if self.config.init_cost:
                 yield self.env.timeout(self.config.init_cost)
             # Processes start executing at a slice boundary (gang launch).
             yield handle.nrt.slice_start.wait()
+            obs = self.obs
+            if obs is not None and obs.spans is not None:
+                obs.spans.rank_started(job.id, rank, t_launch, self.env.now)
             result = yield from job.spec.app(ctx, **job.spec.params)
         except Interrupt as intr:
             # Killed by failure injection: the job is torn down.
@@ -368,6 +372,9 @@ class BcsRuntime:
         finally:
             self.rank_procs.pop((job.id, rank), None)
         job.rank_finished(rank, result)
+        obs = self.obs
+        if obs is not None and obs.spans is not None:
+            obs.spans.rank_finished(job.id, rank, self.env.now)
 
     def run_job(
         self,

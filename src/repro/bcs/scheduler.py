@@ -81,6 +81,8 @@ class SliceScheduler:
         finished = [m for m in self.in_flight if m.finished]
         if finished:
             self.in_flight = [m for m in self.in_flight if not m.finished]
+            if self.obs is not None:
+                self.obs.sched_retired(finished)
         return finished
 
     @property

@@ -263,6 +263,9 @@ class NodeRuntime:
             desc.request.payload = _copy_payload(result)
             desc.request._finish()
         self.runtime.stats["collectives_completed"] += 1
+        obs = self.runtime.obs
+        if obs is not None and obs.spans is not None:
+            obs.spans.coll_completed(job_id, comm_id, epoch)
 
     def __repr__(self) -> str:
         return f"<NodeRuntime node={self.node_id}>"
@@ -283,6 +286,7 @@ class BufferSender:
         """Deliver each send descriptor posted in the previous slice."""
         nrt = self.nrt
         runtime = nrt.runtime
+        obs = runtime.obs
         for desc in nrt._drain_posted(nrt.posted_sends):
             info = runtime.comm_info(desc.job_id, desc.comm_id)
             dst_node = info.node_of(desc.dst_rank)
@@ -292,6 +296,8 @@ class BufferSender:
             )
             runtime.node_rt(dst_node).deliver_send(desc)
             runtime.stats["descriptors_exchanged"] += 1
+            if obs is not None and obs.spans is not None:
+                obs.spans.msg_exchanged(desc, nrt.node_id, dst_node)
 
 
 class BufferReceiver:
@@ -369,6 +375,9 @@ class BufferReceiver:
                 ep.scheduled = True
                 nrt.sched_flag[(job_id, comm_id)] = next_epoch
                 runtime.stats["collectives_scheduled"] += 1
+                obs = runtime.obs
+                if obs is not None and obs.spans is not None:
+                    obs.spans.coll_scheduled(job_id, comm_id, next_epoch)
 
     def _register_match(self, match: Match) -> None:
         nrt = self.nrt
@@ -377,6 +386,9 @@ class BufferReceiver:
         nrt.new_matches.append(match)
         nrt.runtime._match_set.add(nrt.node_id)
         nrt.runtime.stats["matches_created"] += 1
+        obs = nrt.runtime.obs
+        if obs is not None and obs.spans is not None:
+            obs.spans.msg_matched(match)
 
 
 class DmaHelper:
@@ -401,6 +413,7 @@ class DmaHelper:
         nrt = self.nrt
         runtime = nrt.runtime
         chunk = match.scheduled_now
+        t0 = nrt.env.now
         yield from nrt.nic.compute(nrt.config.nic_descriptor_cost)
         # One-sided get: data flows src -> dst with no host involvement.
         yield from runtime.cluster.fabric.unicast(
@@ -410,6 +423,9 @@ class DmaHelper:
         match.scheduled_now = 0
         runtime.stats["bytes_transferred"] += chunk
         runtime.stats["chunks_moved"] += 1
+        obs = runtime.obs
+        if obs is not None and obs.spans is not None:
+            obs.spans.msg_chunk(match, t0, nrt.env.now, chunk)
         if match.finished:
             self._deliver(match)
 
@@ -422,7 +438,11 @@ class DmaHelper:
         recv.request._finish()
         if not send.request.complete:  # strict (non-buffered) sends
             send.request._finish()
-        self.nrt.runtime.stats["messages_delivered"] += 1
+        runtime = self.nrt.runtime
+        runtime.stats["messages_delivered"] += 1
+        obs = runtime.obs
+        if obs is not None and obs.spans is not None:
+            obs.spans.msg_delivered(match)
 
 
 class CollectiveHelper:

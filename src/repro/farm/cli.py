@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from ..harness.report import print_table
 from .points import (
+    ANALYSIS_FAMILIES,
     EXTENSION_FAMILIES,
     FAMILIES,
     FIGURE_FAMILIES,
@@ -167,7 +168,12 @@ def cmd_figures(args) -> int:
         print(f"unknown family(ies): {', '.join(unknown)}", file=sys.stderr)
         print(
             "choose from: "
-            + ", ".join(FIGURE_FAMILIES + EXTENSION_FAMILIES + SCALING_FAMILIES),
+            + ", ".join(
+                FIGURE_FAMILIES
+                + EXTENSION_FAMILIES
+                + SCALING_FAMILIES
+                + ANALYSIS_FAMILIES
+            ),
             file=sys.stderr,
         )
         return 2
@@ -205,7 +211,9 @@ def cmd_figures(args) -> int:
 
 def cmd_list(args) -> int:
     rows = []
-    for name in FIGURE_FAMILIES + EXTENSION_FAMILIES + SCALING_FAMILIES:
+    for name in (
+        FIGURE_FAMILIES + EXTENSION_FAMILIES + SCALING_FAMILIES + ANALYSIS_FAMILIES
+    ):
         specs = FAMILIES[name].specs(
             FAMILIES[name].smoke if args.preset == "smoke" else None
         )
@@ -230,6 +238,9 @@ def cmd_metrics(args) -> int:
         f"{last.get('cached', '?')} cached, {last.get('executed', '?')} executed, "
         f"{last.get('failed', '?')} failed =="
     )
+    hit_rate = last.get("cache_hit_rate")
+    if isinstance(hit_rate, (int, float)):
+        print(f"cache hit rate: {hit_rate:.1%}")
     render = last.get("metrics_render")
     if render:
         print(render)

@@ -35,6 +35,7 @@ from ..harness import scaling as S
 from ..units import MiB
 
 __all__ = [
+    "ANALYSIS_FAMILIES",
     "EXTENSION_FAMILIES",
     "FAMILIES",
     "FIGURE_FAMILIES",
@@ -102,6 +103,10 @@ class Family:
     execute: Callable[..., dict]
     #: option overrides for the reduced ``--preset smoke`` configuration.
     smoke: Mapping[str, Any]
+    #: numeric row columns mirrored into the trend store as per-point
+    #: gauges (``farm.row.<column>{family=...,point=...}``) so regression
+    #: gating can watch row *values*, not just wall-clock durations.
+    trend_columns: Tuple[str, ...] = ()
 
     def specs(self, options: Optional[Mapping[str, Any]] = None) -> List[PointSpec]:
         return [
@@ -279,6 +284,27 @@ def _expand_scaling1024(
     ]
 
 
+# --- critical-path analysis family (blame composition per run) ---------------
+
+
+def _expand_critpath(
+    experiments: Sequence[str] = ("fig8", "fig8-p2p", "sweep3d"),
+    n_ranks: int = 8,
+    seed: int = 0,
+) -> List[dict]:
+    return [
+        dict(experiment=e, n_ranks=n_ranks, seed=seed) for e in experiments
+    ]
+
+
+def _execute_critpath(experiment: str, n_ranks: int = 8, seed: int = 0) -> dict:
+    # Imported lazily: the critpath analysis pulls in the full
+    # observability stack, which plain figure points never need.
+    from ..harness.obs_runs import critpath_point
+
+    return critpath_point(experiment, n_ranks=n_ranks, seed=seed)
+
+
 # --- selftest family (test hook: controllable success/hang/crash) -----------
 
 
@@ -330,6 +356,12 @@ EXTENSION_FAMILIES: Tuple[str, ...] = ("ext_ft", "ext_pfs_qos", "ext_noise")
 #: deterministic figure set and never part of ``repro farm figures``
 #: defaults; run them by name (``repro farm figures scaling1024``).
 SCALING_FAMILIES: Tuple[str, ...] = ("scaling1024",)
+
+#: Analysis families: deterministic derived metrics over instrumented
+#: runs (critical-path blame composition).  Not in the default figure
+#: set; run them by name (``repro farm figures critpath``) — their row
+#: columns feed the trend store via ``Family.trend_columns``.
+ANALYSIS_FAMILIES: Tuple[str, ...] = ("critpath",)
 
 FAMILIES: Dict[str, Family] = {
     f.name: f
@@ -438,6 +470,21 @@ FAMILIES: Dict[str, Family] = {
             _expand_scaling1024,
             S.scaling_point,
             smoke=dict(node_counts=(128,), iterations=12),
+        ),
+        Family(
+            "critpath",
+            "Critical path: virtual-time blame composition per experiment",
+            _expand_critpath,
+            _execute_critpath,
+            smoke=dict(experiments=("fig8",)),
+            trend_columns=(
+                "compute_pct",
+                "dem_pct",
+                "msm_pct",
+                "p2p_pct",
+                "coll_pct",
+                "wait_pct",
+            ),
         ),
         Family(
             "selftest",

@@ -68,6 +68,11 @@ class FarmReport:
     def ok(self) -> bool:
         return self.n_failed == 0
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this run's points served by the result store."""
+        return round(self.n_cached / self.n_points, 4) if self.n_points else 0.0
+
     def failures(self) -> List[PointOutcome]:
         return [o for f in self.families for o in f.outcomes if not o.ok]
 
@@ -97,6 +102,7 @@ class FarmReport:
             "executed": self.n_executed,
             "failed": self.n_failed,
             "retried": self.n_retried,
+            "cache_hit_rate": self.cache_hit_rate,
             "families": {
                 f.name: {
                     "points": len(f.outcomes),
@@ -149,6 +155,34 @@ class _Progress:
         elif self.done == self.total or self.done % 10 == 0:
             self.stream.write(line + "\n")
         self.stream.flush()
+
+
+def _record_row_gauges(
+    registry: MetricsRegistry, name: str, fam_outcomes: List[PointOutcome]
+) -> None:
+    """Mirror a family's ``trend_columns`` into per-point gauges.
+
+    Each gauge lands in the registry snapshot as
+    ``farm.row.<column>{family=...,point=...}``, which the trend store
+    records as an exact series — so ``repro trend check`` gates on row
+    values (e.g. the critical-path blame composition), not only on
+    wall-clock.  The point label joins param values with ``-`` (label
+    values must stay comma-free for the trend label parser).
+    """
+    columns = FAMILIES[name].trend_columns
+    if not columns:
+        return
+    for outcome in fam_outcomes:
+        if not outcome.ok:
+            continue
+        point = "-".join(str(v) for _, v in outcome.spec.params)
+        for column in columns:
+            value = outcome.row.get(column)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            registry.gauge(f"farm.row.{column}", family=name, point=point).set(
+                float(value)
+            )
 
 
 def _record_trends(trend_store, summary: dict) -> None:
@@ -232,6 +266,9 @@ def run_farm(
             miss_index[len(misses)] = i
             misses.append(spec)
             registry.counter("farm.cache.misses", family=spec.family).inc()
+    registry.gauge("farm.cache.hit_rate").set(
+        round(len(outcomes) / len(all_specs), 4) if all_specs else 0.0
+    )
 
     # -- execute misses ------------------------------------------------------
     prog = _Progress(total=len(all_specs), enabled=progress)
@@ -288,6 +325,7 @@ def run_farm(
         results.append(
             FamilyResult(name=name, title=FAMILIES[name].title, outcomes=fam_outcomes)
         )
+        _record_row_gauges(registry, name, fam_outcomes)
 
     report = FarmReport(
         families=results,

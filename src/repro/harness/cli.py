@@ -15,10 +15,14 @@ Observability subcommands (see docs/OBSERVABILITY.md)::
 
     python -m repro.harness.cli trace fig8 --out trace.json
     python -m repro.harness.cli metrics fig8 --ranks 8
+    python -m repro.harness.cli explain fig8 --ranks 8 --json blame.json
 
 ``trace`` runs one instrumented experiment and writes a Perfetto
 trace-event JSON (open in ui.perfetto.dev); ``metrics`` prints the
-slice-level metrics report and the per-rank MPI profile.  Both are
+slice-level metrics report and the per-rank MPI profile; ``explain``
+traces every message through its lifecycle and prints the virtual-time
+critical-path blame breakdown (who the makespan waited on, per
+microphase / rank / job, plus the longest message chains).  All are
 deterministic: two runs with the same seed produce byte-identical
 output.
 
@@ -171,19 +175,16 @@ def _positive_int(text: str) -> int:
 
 
 def build_obs_parser(command: str) -> argparse.ArgumentParser:
-    """Parser for the ``trace`` / ``metrics`` observability subcommands."""
+    """Parser for the ``trace``/``metrics``/``explain`` subcommands."""
     from .obs_runs import INSTRUMENTED
 
+    what = {
+        "trace": "export a Perfetto trace (ui.perfetto.dev).",
+        "explain": "print the virtual-time critical-path blame breakdown.",
+    }.get(command, "print slice metrics and the per-rank MPI profile.")
     parser = argparse.ArgumentParser(
         prog=f"repro {command}",
-        description=(
-            "Run one instrumented experiment and "
-            + (
-                "export a Perfetto trace (ui.perfetto.dev)."
-                if command == "trace"
-                else "print slice metrics and the per-rank MPI profile."
-            )
-        ),
+        description="Run one instrumented experiment and " + what,
     )
     parser.add_argument(
         "experiment",
@@ -200,6 +201,25 @@ def build_obs_parser(command: str) -> argparse.ArgumentParser:
             metavar="PATH",
             default="trace.json",
             help="output trace file (default trace.json)",
+        )
+    if command == "explain":
+        parser.add_argument(
+            "--top",
+            type=_positive_int,
+            default=8,
+            help="how many longest message chains to report (default 8)",
+        )
+        parser.add_argument(
+            "--json",
+            metavar="PATH",
+            default=None,
+            help="also write the blame report as canonical JSON",
+        )
+        parser.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="also write the Perfetto trace (with message flow arrows)",
         )
     return parser
 
@@ -241,6 +261,43 @@ def cmd_metrics(argv: List[str]) -> int:
     return 0
 
 
+def cmd_explain(argv: List[str]) -> int:
+    """``repro explain <experiment> [--json blame.json] [--trace t.json]``"""
+    args = build_obs_parser("explain").parse_args(argv)
+    from ..obs.critpath import blame_payload, render_blame, to_json_bytes
+    from .obs_runs import explain_run
+
+    run, report = explain_run(
+        args.experiment,
+        n_ranks=args.ranks,
+        seed=args.seed,
+        top=args.top,
+        perfetto=args.trace is not None,
+    )
+    title = (
+        f"{args.experiment}: {run.result.n_ranks} ranks, "
+        f"{run.result.runtime_ns} ns simulated"
+    )
+    print(render_blame(report, title))
+    payload = to_json_bytes(
+        blame_payload(
+            report, experiment=args.experiment, ranks=args.ranks, seed=args.seed
+        )
+    )
+    try:
+        if args.json is not None:
+            with open(args.json, "wb") as fh:
+                fh.write(payload)
+            print(f"blame report -> {args.json}")
+        if args.trace is not None:
+            run.obs.perfetto.save(args.trace)
+            print(f"trace with flow arrows -> {args.trace}")
+    except OSError as exc:
+        print(f"repro explain: cannot write output: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_farm(argv: List[str]) -> int:
     """``repro farm figures|list|metrics|clean ...`` (see docs/FARM.md)."""
     from ..farm.cli import main as farm_main
@@ -260,6 +317,7 @@ def cmd_trend(argv: List[str]) -> int:
 OBS_COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "explain": cmd_explain,
     "farm": cmd_farm,
     "trend": cmd_trend,
 }

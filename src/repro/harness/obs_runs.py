@@ -77,3 +77,67 @@ def run_instrumented(
         obs=obs,
     )
     return InstrumentedRun(result=result, obs=obs)
+
+
+def explain_run(
+    name: str,
+    n_ranks: int = 8,
+    seed: int = 0,
+    top: int = 8,
+    perfetto: bool = True,
+):
+    """Run one experiment with span tracing and extract its blame report.
+
+    Returns ``(run, report)`` where ``report`` is a
+    :class:`~repro.obs.critpath.BlameReport` whose category totals sum
+    to the run's virtual makespan exactly.
+    """
+    from ..obs.critpath import critical_path
+
+    obs = Observability(perfetto=perfetto, profile=False, spans=True)
+    run = run_instrumented(name, n_ranks=n_ranks, seed=seed, obs=obs)
+    report = critical_path(obs.spans, makespan_ns=run.result.runtime_ns, top=top)
+    return run, report
+
+
+#: Blame-share columns recorded per critpath farm point (and mirrored
+#: into the trend store via ``Family.trend_columns``).
+CRITPATH_COLUMNS = (
+    "compute_pct",
+    "dem_pct",
+    "msm_pct",
+    "p2p_pct",
+    "coll_pct",
+    "wait_pct",
+)
+
+
+def critpath_point(experiment: str, n_ranks: int = 8, seed: int = 0) -> dict:
+    """One critical-path farm point: the blame composition of one run.
+
+    Pure function of its parameters (content-addressed by the farm);
+    shares are percentages of the run's virtual makespan, grouped so
+    gating catches DEM/MSM/transmission composition shifts.
+    """
+    _run, report = explain_run(
+        experiment, n_ranks=n_ranks, seed=seed, perfetto=False
+    )
+    makespan = report.makespan_ns or 1
+
+    def pct(*cats: str) -> float:
+        return round(
+            100.0 * sum(report.categories_ns.get(c, 0) for c in cats) / makespan, 3
+        )
+
+    return {
+        "experiment": experiment,
+        "ranks": n_ranks,
+        "makespan_ns": report.makespan_ns,
+        "compute_pct": pct("compute"),
+        "dem_pct": pct("post_wait", "DEM"),
+        "msm_pct": pct("MSM"),
+        "p2p_pct": pct("P2P"),
+        "coll_pct": pct("BBM", "RM"),
+        "wait_pct": pct("launch_wait", "restart_wait", "wait_other"),
+        "hops": report.n_hops,
+    }

@@ -9,6 +9,9 @@ docs/OBSERVABILITY.md):
   one track group per node plus NIC-thread tracks;
 - :class:`MpiProfiler` — per-rank, per-call-site virtual-time
   attribution with an mpiP-style report;
+- :class:`SpanTracker` + :func:`critical_path` — causal
+  message-lifecycle spans and the virtual-time critical-path blame
+  breakdown (``Observability(spans=True)``, ``repro explain``);
 - :class:`Observability` — the hub the runtime reports into
   (``runtime.attach_observability(Observability())``).
 
@@ -16,6 +19,7 @@ Everything here is passive: hooks never touch the event queue, so an
 instrumented run takes exactly the same virtual time as a bare one.
 """
 
+from .critpath import BlameReport, CATEGORIES, critical_path
 from .perfetto import PerfettoTrace
 from .profiler import MpiProfiler
 from .registry import (
@@ -26,17 +30,24 @@ from .registry import (
     MetricsRegistry,
     percentile,
 )
+from .spans import CollectiveSpan, MessageSpan, SpanTracker
 from .telemetry import Observability, PHASE_THREADS
 
 __all__ = [
+    "BlameReport",
+    "CATEGORIES",
+    "CollectiveSpan",
     "Counter",
     "Gauge",
     "Histogram",
     "LabelCardinalityError",
+    "MessageSpan",
     "MetricsRegistry",
     "MpiProfiler",
     "Observability",
     "PHASE_THREADS",
     "PerfettoTrace",
+    "SpanTracker",
+    "critical_path",
     "percentile",
 ]

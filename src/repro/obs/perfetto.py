@@ -12,7 +12,12 @@ runtime:
   (BS/BR/DH/CH/RH occupancy spans);
 - microphases are complete ("X") duration events, nested inside their
   slice span by containment;
-- scheduler backlog / granted bytes are counter ("C") events.
+- scheduler backlog / granted bytes are counter ("C") events;
+- message lifecycles are flow ("s"/"t"/"f") events sharing one flow id:
+  start at descriptor exchange on the source node's microphase track,
+  step at the match on the destination node, end at delivery — each
+  timestamp lands inside a real microphase span on its track, so the
+  Perfetto UI draws the cross-node causality arrows.
 
 Timestamps are simulated **nanoseconds** converted to the microsecond
 unit the format expects; with integer virtual time the conversion is
@@ -137,6 +142,48 @@ class PerfettoTrace:
         if args:
             event["args"] = args
         self._events.append(event)
+
+    def _flow(
+        self,
+        ph: str,
+        pid: int,
+        tid: int,
+        name: str,
+        cat: str,
+        ts_ns: int,
+        flow_id: int,
+    ) -> None:
+        event = {
+            "ph": ph,
+            "name": name,
+            "cat": cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": _us(ts_ns),
+            "id": flow_id,
+        }
+        if ph == "f":
+            # Bind to the enclosing slice, not the next one to start.
+            event["bp"] = "e"
+        self._events.append(event)
+
+    def flow_start(
+        self, pid: int, tid: int, name: str, cat: str, ts_ns: int, flow_id: int
+    ) -> None:
+        """A flow-start ("s") event: the arrow's tail."""
+        self._flow("s", pid, tid, name, cat, ts_ns, flow_id)
+
+    def flow_step(
+        self, pid: int, tid: int, name: str, cat: str, ts_ns: int, flow_id: int
+    ) -> None:
+        """A flow-step ("t") event: an intermediate arrow waypoint."""
+        self._flow("t", pid, tid, name, cat, ts_ns, flow_id)
+
+    def flow_end(
+        self, pid: int, tid: int, name: str, cat: str, ts_ns: int, flow_id: int
+    ) -> None:
+        """A flow-end ("f", bp=e) event: the arrow's head."""
+        self._flow("f", pid, tid, name, cat, ts_ns, flow_id)
 
     def counter(self, pid: int, name: str, ts_ns: int, values: dict) -> None:
         """A counter ("C") sample: stacked value track."""

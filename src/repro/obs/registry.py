@@ -14,9 +14,12 @@ Design constraints inherited from the simulator:
   byte-identical reports.
 - **No virtual-time impact** — nothing here touches the event queue;
   recording a sample is pure Python bookkeeping.
-- **Bounded cardinality** — a metric refuses to grow past
+- **Bounded cardinality** — a metric stops growing past
   ``max_series_per_metric`` distinct label sets (protects against
-  accidentally labeling by message id or timestamp).
+  accidentally labeling by message id or timestamp).  Overflowing
+  samples are routed to a shared per-metric overflow series and counted
+  in the self-describing ``obs.labels_dropped`` counter, so the cap
+  never silently loses data and never crashes a hot path.
 """
 
 from __future__ import annotations
@@ -34,7 +37,13 @@ __all__ = [
 
 
 class LabelCardinalityError(ValueError):
-    """A metric exceeded its allowed number of distinct label sets."""
+    """A metric exceeded its allowed number of distinct label sets.
+
+    Kept for backward compatibility: the registry no longer raises this
+    (overflow routes to the shared per-metric overflow series and bumps
+    ``obs.labels_dropped`` instead), but callers that caught it still
+    import it from here.
+    """
 
 
 def percentile(samples: Iterable[float], p: float) -> float:
@@ -168,6 +177,15 @@ class Histogram:
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
+#: Label set of the shared per-metric overflow series — where samples
+#: land once a metric hits its cardinality cap.
+_OVERFLOW_KEY: LabelKey = (("overflow", "dropped"),)
+
+#: Self-describing counter of label sets refused by the cap, labeled by
+#: the offending metric.  Exempt from the cap itself (its cardinality is
+#: bounded by the number of metric names).
+_DROPPED_METRIC = "obs.labels_dropped"
+
 
 class MetricsRegistry:
     """Registry of named, labeled instruments."""
@@ -194,13 +212,28 @@ class MetricsRegistry:
         key = _label_key(labels)
         inst = series.get(key)
         if inst is None:
-            if len(series) >= self.max_series_per_metric:
-                raise LabelCardinalityError(
-                    f"metric {name!r} exceeded {self.max_series_per_metric} "
-                    f"label sets (offending labels: {dict(key)})"
-                )
+            if (
+                len(series) >= self.max_series_per_metric
+                and name != _DROPPED_METRIC
+            ):
+                return self._overflow(kind, name, series)
             inst = _KINDS[kind](name, key)
             series[key] = inst
+        return inst
+
+    def _overflow(self, kind: str, name: str, series: dict):
+        """Route a refused label set to the metric's shared overflow series.
+
+        Counts the drop in ``obs.labels_dropped{metric=<name>}`` so the
+        collapse is visible in every snapshot/render, then returns the
+        per-metric overflow instrument — same kind, labels
+        ``{overflow=dropped}`` — so the sample itself is still recorded.
+        """
+        self.counter(_DROPPED_METRIC, metric=name).inc()
+        inst = series.get(_OVERFLOW_KEY)
+        if inst is None:
+            inst = _KINDS[kind](name, _OVERFLOW_KEY)
+            series[_OVERFLOW_KEY] = inst
         return inst
 
     def counter(self, name: str, **labels) -> Counter:

@@ -1,0 +1,390 @@
+"""Causal message-lifecycle spans (the "why is this run slow" layer).
+
+Aggregate metrics (:mod:`.registry`) say *how much* time each microphase
+consumed; this module records *which* message spent it.  A
+:class:`SpanTracker` follows every point-to-point message through its
+lifecycle
+
+    posted -> descriptor exchanged (DEM) -> matched (MSM/DEM)
+           -> scheduled -> transmitted in chunks (P2P) -> delivered
+
+and every collective through
+
+    posted (per rank) -> CaW-scheduled -> committed (BBM/RM)
+
+as linked spans with rank, slice, and microphase attribution.  It also
+records every blocking wait (which requests a rank blocked on, and when
+it resumed), which is exactly the dependency edge set the critical-path
+extractor (:mod:`.critpath`) walks backward from workload completion.
+
+When a :class:`~repro.obs.perfetto.PerfettoTrace` is attached, each
+delivered message additionally emits a flow-event triple ("s"/"t"/"f")
+on the nodes' microphase tracks, so the Perfetto UI renders the
+cross-node causality arrows over the existing DEM/MSM/P2P spans.
+
+Like every other hook in the obs stack, the tracker is passive: hooks
+read ``env.now`` but never enter the event queue, so golden virtual
+timings are identical with span tracing off and on (pinned by
+``tests/test_golden_timings.py``).
+
+Determinism note: descriptor ids come from a process-global counter, so
+they differ between two same-seed runs in one process.  They are used
+only as in-run dictionary keys; everything that reaches a report uses
+tracker-local dense ids (``msg_id``, dense job indices) assigned in
+simulation order, which *are* byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..bcs.descriptors import (
+        CollectiveDescriptor,
+        Match,
+        RecvDescriptor,
+        SendDescriptor,
+    )
+    from ..bcs.runtime import BcsRuntime
+    from .perfetto import PerfettoTrace
+
+__all__ = ["CollectiveSpan", "MessageSpan", "RankBlock", "SpanTracker"]
+
+#: Microphase thread track inside each node's process group (matches
+#: ``repro.obs.telemetry.TID_MICROPHASES``; duplicated to avoid a cycle).
+_TID_MICROPHASES = 0
+
+#: A rank on the critical-path graph: (dense job index, world rank).
+RankKey = Tuple[int, int]
+
+
+class MessageSpan:
+    """One point-to-point message's lifecycle, posted to delivered."""
+
+    __slots__ = (
+        "msg_id",
+        "job",
+        "src_key",
+        "dst_key",
+        "tag",
+        "size",
+        "src_node",
+        "dst_node",
+        "send_posted_at",
+        "recv_posted_at",
+        "exchanged_at",
+        "exchange_slice",
+        "exchange_slice_start",
+        "matched_at",
+        "match_slice",
+        "match_slice_start",
+        "matched_by",
+        "first_grant_slice",
+        "chunks",
+        "delivered_at",
+        "delivered_slice",
+        "retired_slice",
+    )
+
+    def __init__(self, msg_id: int, job: int, src_key: RankKey, tag: int, size: int):
+        self.msg_id = msg_id
+        self.job = job
+        self.src_key: RankKey = src_key
+        self.dst_key: Optional[RankKey] = None
+        self.tag = tag
+        self.size = size
+        self.src_node: Optional[int] = None
+        self.dst_node: Optional[int] = None
+        self.send_posted_at: int = 0
+        self.recv_posted_at: Optional[int] = None
+        self.exchanged_at: Optional[int] = None
+        self.exchange_slice: Optional[int] = None
+        self.exchange_slice_start: Optional[int] = None
+        self.matched_at: Optional[int] = None
+        self.match_slice: Optional[int] = None
+        self.match_slice_start: Optional[int] = None
+        #: Which descriptor completed the pair: "send" (arrival met a
+        #: posted receive) or "recv" (a post drained an unexpected send).
+        self.matched_by: str = ""
+        self.first_grant_slice: Optional[int] = None
+        #: Transmitted chunks: (slice_no, t0, t1, nbytes), in sim order.
+        self.chunks: List[Tuple[int, int, int, int]] = []
+        self.delivered_at: Optional[int] = None
+        self.delivered_slice: Optional[int] = None
+        self.retired_slice: Optional[int] = None
+
+    def __repr__(self) -> str:
+        state = "delivered" if self.delivered_at is not None else "in-flight"
+        return f"<MessageSpan #{self.msg_id} {self.src_key}->{self.dst_key} {state}>"
+
+
+class CollectiveSpan:
+    """One collective epoch's lifecycle across its participating ranks."""
+
+    __slots__ = (
+        "coll_id",
+        "job",
+        "kind",
+        "posts",
+        "scheduled_at",
+        "sched_slice",
+        "sched_slice_start",
+        "completed_at",
+        "completed_slice",
+    )
+
+    def __init__(self, coll_id: int, job: int, kind: str):
+        self.coll_id = coll_id
+        self.job = job
+        self.kind = kind
+        #: Post time per participating rank key.
+        self.posts: Dict[RankKey, int] = {}
+        self.scheduled_at: Optional[int] = None
+        self.sched_slice: Optional[int] = None
+        self.sched_slice_start: Optional[int] = None
+        #: Commit time (max over per-node completion commits).
+        self.completed_at: Optional[int] = None
+        self.completed_slice: Optional[int] = None
+
+    def __repr__(self) -> str:
+        state = "done" if self.completed_at is not None else "pending"
+        return f"<CollectiveSpan #{self.coll_id} {self.kind} n={len(self.posts)} {state}>"
+
+
+class RankBlock:
+    """One blocking wait of one rank: [t0, t1] plus what it waited on."""
+
+    __slots__ = ("t0", "t1", "kind", "entries")
+
+    def __init__(self, t0: int, t1: int, kind: str, entries=()):
+        self.t0 = t0
+        self.t1 = t1
+        #: "wait" (bcs wait) or "launch" (gang-launch slice alignment).
+        self.kind = kind
+        #: (completed_at, ref) per awaited request, in the caller's
+        #: request order (deterministic: it is the application's list).
+        self.entries: Tuple[Tuple[int, tuple], ...] = tuple(entries)
+
+    def __repr__(self) -> str:
+        return f"<RankBlock {self.kind} [{self.t0},{self.t1}] n={len(self.entries)}>"
+
+
+class SpanTracker:
+    """Collects message/collective spans and per-rank wait blocks."""
+
+    def __init__(self):
+        self.runtime: Optional["BcsRuntime"] = None
+        self.perfetto: Optional["PerfettoTrace"] = None
+        #: Dense job index by raw job id, in first-appearance order.
+        self._job_idx: Dict[int, int] = {}
+        #: Every tracked message, in post (= msg_id) order.
+        self.messages: List[MessageSpan] = []
+        #: Every tracked collective, in first-post order.
+        self.collectives: List[CollectiveSpan] = []
+        self._span_by_send: Dict[int, MessageSpan] = {}
+        self._span_by_recv: Dict[int, MessageSpan] = {}
+        #: Posted receives not yet linked: desc_id -> (rank_key, t).
+        self._recv_posts: Dict[int, Tuple[RankKey, int]] = {}
+        self._coll_by_key: Dict[tuple, CollectiveSpan] = {}
+        #: Awaitable -> span reference, keyed by the request object
+        #: itself (identity hash; the dict holds a strong ref, so ids
+        #: cannot be recycled under us).
+        self._ref_by_req: Dict[object, tuple] = {}
+        #: Completed wait blocks per rank key, in completion order.
+        self.blocks: Dict[RankKey, List[RankBlock]] = {}
+        #: Gang-launch window per rank key: (t0, first slice boundary).
+        self.rank_start: Dict[RankKey, Tuple[int, int]] = {}
+        #: Finish time per rank key.
+        self.rank_finish: Dict[RankKey, int] = {}
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach(self, runtime: "BcsRuntime", perfetto: Optional["PerfettoTrace"]) -> None:
+        self.runtime = runtime
+        self.perfetto = perfetto
+
+    def _jkey(self, job_id: int) -> int:
+        idx = self._job_idx.get(job_id)
+        if idx is None:
+            idx = len(self._job_idx)
+            self._job_idx[job_id] = idx
+        return idx
+
+    def _now(self) -> int:
+        return self.runtime.env.now if self.runtime is not None else 0
+
+    def _slice(self) -> Tuple[int, int]:
+        """(current slice number, its start time)."""
+        rt = self.runtime
+        if rt is None:
+            return 0, 0
+        return rt.slice_no, rt.slice_start_time
+
+    # -- posting hooks (called from the BCS API layer) ------------------------------
+
+    def send_posted(self, desc: "SendDescriptor", job_id: int, world_rank: int) -> None:
+        span = MessageSpan(
+            len(self.messages),
+            self._jkey(job_id),
+            (self._jkey(job_id), world_rank),
+            desc.tag,
+            desc.size,
+        )
+        span.send_posted_at = desc.posted_at
+        self.messages.append(span)
+        self._span_by_send[desc.desc_id] = span
+        self._ref_by_req[desc.request] = ("msg", desc.desc_id)
+
+    def recv_posted(self, desc: "RecvDescriptor", job_id: int, world_rank: int) -> None:
+        key = (self._jkey(job_id), world_rank)
+        self._recv_posts[desc.desc_id] = (key, desc.posted_at)
+        self._ref_by_req[desc.request] = ("recv", desc.desc_id)
+
+    def coll_posted(
+        self, desc: "CollectiveDescriptor", job_id: int, world_rank: int
+    ) -> None:
+        key = (job_id, desc.comm_id, desc.epoch)
+        span = self._coll_by_key.get(key)
+        if span is None:
+            span = CollectiveSpan(len(self.collectives), self._jkey(job_id), desc.kind)
+            self.collectives.append(span)
+            self._coll_by_key[key] = span
+        span.posts[(self._jkey(job_id), world_rank)] = desc.posted_at
+        self._ref_by_req[desc.request] = ("coll", key)
+
+    # -- NIC-thread hooks (called from repro.bcs.threads) ---------------------------
+
+    def msg_exchanged(
+        self, desc: "SendDescriptor", src_node: int, dst_node: int
+    ) -> None:
+        """BS shipped the send descriptor to the destination BR (DEM)."""
+        span = self._span_by_send.get(desc.desc_id)
+        if span is None:
+            return
+        now = self._now()
+        span.src_node = src_node
+        span.dst_node = dst_node
+        span.exchanged_at = now
+        span.exchange_slice, span.exchange_slice_start = self._slice()
+        if self.perfetto is not None:
+            self.perfetto.flow_start(
+                src_node, _TID_MICROPHASES, "msg", "msgflow", now, span.msg_id
+            )
+
+    def msg_matched(self, match: "Match") -> None:
+        """The BR paired the send with a posted receive."""
+        span = self._span_by_send.get(match.send.desc_id)
+        if span is None:
+            return
+        now = self._now()
+        span.matched_at = now
+        span.match_slice, span.match_slice_start = self._slice()
+        span.matched_by = match.matched_via
+        span.src_node = match.src_node
+        span.dst_node = match.dst_node
+        recv_post = self._recv_posts.pop(match.recv.desc_id, None)
+        if recv_post is not None:
+            span.dst_key, span.recv_posted_at = recv_post
+        self._span_by_recv[match.recv.desc_id] = span
+        if self.perfetto is not None:
+            self.perfetto.flow_step(
+                match.dst_node, _TID_MICROPHASES, "msg", "msgflow", now, span.msg_id
+            )
+
+    def sched_granted(self, granted) -> None:
+        """The MSM scheduler granted this slice's chunks."""
+        slice_no = self.runtime.slice_no if self.runtime is not None else 0
+        by_send = self._span_by_send
+        for match in granted:
+            span = by_send.get(match.send.desc_id)
+            if span is not None and span.first_grant_slice is None:
+                span.first_grant_slice = slice_no
+
+    def sched_retired(self, finished) -> None:
+        """The scheduler dropped fully transferred matches."""
+        slice_no = self.runtime.slice_no if self.runtime is not None else 0
+        by_send = self._span_by_send
+        for match in finished:
+            span = by_send.get(match.send.desc_id)
+            if span is not None:
+                span.retired_slice = slice_no
+
+    def msg_chunk(self, match: "Match", t0: int, t1: int, nbytes: int) -> None:
+        """The DH moved one chunk of the message (P2P)."""
+        span = self._span_by_send.get(match.send.desc_id)
+        if span is not None:
+            slice_no, _ = self._slice()
+            span.chunks.append((slice_no, t0, t1, nbytes))
+
+    def msg_delivered(self, match: "Match") -> None:
+        """The last chunk landed; the receive request completed."""
+        span = self._span_by_send.get(match.send.desc_id)
+        if span is None:
+            return
+        now = self._now()
+        span.delivered_at = now
+        span.delivered_slice, _ = self._slice()
+        if self.perfetto is not None:
+            self.perfetto.flow_end(
+                match.dst_node, _TID_MICROPHASES, "msg", "msgflow", now, span.msg_id
+            )
+
+    def coll_scheduled(self, job_id: int, comm_id: int, epoch: int) -> None:
+        """The root node's CaW admitted the epoch (MSM)."""
+        span = self._coll_by_key.get((job_id, comm_id, epoch))
+        if span is not None:
+            span.scheduled_at = self._now()
+            span.sched_slice, span.sched_slice_start = self._slice()
+
+    def coll_completed(self, job_id: int, comm_id: int, epoch: int) -> None:
+        """One node committed the epoch's result to its local ranks."""
+        span = self._coll_by_key.get((job_id, comm_id, epoch))
+        if span is None:
+            return
+        now = self._now()
+        if span.completed_at is None or now > span.completed_at:
+            span.completed_at = now
+            span.completed_slice, _ = self._slice()
+
+    # -- rank lifecycle hooks -------------------------------------------------------
+
+    def rank_started(self, job_id: int, world_rank: int, t0: int, t1: int) -> None:
+        self.rank_start[(self._jkey(job_id), world_rank)] = (t0, t1)
+
+    def rank_wait(
+        self, job_id: int, world_rank: int, reqs, t0: int, t1: int
+    ) -> None:
+        """One rank blocked on ``reqs`` over [t0, t1] (t1 > t0)."""
+        refs = self._ref_by_req
+        entries = []
+        for req in reqs:
+            ref = refs.get(req)
+            if ref is not None:
+                done = req.completed_at
+                entries.append((done if done is not None else t1, ref))
+        key = (self._jkey(job_id), world_rank)
+        self.blocks.setdefault(key, []).append(RankBlock(t0, t1, "wait", entries))
+
+    def rank_finished(self, job_id: int, world_rank: int, t: int) -> None:
+        self.rank_finish[(self._jkey(job_id), world_rank)] = t
+
+    # -- resolution (used by the critical-path walker) ------------------------------
+
+    def resolve(self, ref: tuple):
+        """A block entry's ref -> MessageSpan | CollectiveSpan | None."""
+        kind, key = ref
+        if kind == "msg":
+            return self._span_by_send.get(key)
+        if kind == "recv":
+            return self._span_by_recv.get(key)
+        return self._coll_by_key.get(key)
+
+    @property
+    def n_delivered(self) -> int:
+        return sum(1 for m in self.messages if m.delivered_at is not None)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpanTracker msgs={len(self.messages)} "
+            f"colls={len(self.collectives)} ranks={len(self.rank_finish)}>"
+        )

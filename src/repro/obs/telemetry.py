@@ -1,10 +1,12 @@
 """Slice-level telemetry: the hub the instrumented runtime reports into.
 
-An :class:`Observability` instance bundles the three sinks — a
+An :class:`Observability` instance bundles the sinks — a
 :class:`~repro.obs.registry.MetricsRegistry`, a
-:class:`~repro.obs.perfetto.PerfettoTrace`, and a
-:class:`~repro.obs.profiler.MpiProfiler` — and exposes the hook methods
-the BCS runtime calls from its hot paths.
+:class:`~repro.obs.perfetto.PerfettoTrace`, a
+:class:`~repro.obs.profiler.MpiProfiler`, and (opt-in via
+``spans=True``) a :class:`~repro.obs.spans.SpanTracker` for causal
+message-lifecycle tracing — and exposes the hook methods the BCS
+runtime calls from its hot paths.
 
 Wiring: ``runtime.attach_observability(obs)`` stores the hub on the
 runtime, the slice scheduler, and every NIC; every instrumented call
@@ -40,6 +42,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from .perfetto import PerfettoTrace
 from .profiler import MpiProfiler
 from .registry import MetricsRegistry
+from .spans import SpanTracker
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..bcs.runtime import BcsRuntime
@@ -69,10 +72,14 @@ class Observability:
         registry: Optional[MetricsRegistry] = None,
         perfetto: bool = True,
         profile: bool = True,
+        spans: bool = False,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.perfetto: Optional[PerfettoTrace] = PerfettoTrace() if perfetto else None
         self.profiler: Optional[MpiProfiler] = MpiProfiler() if profile else None
+        #: Causal message-lifecycle tracker (``spans=True``); feeds the
+        #: critical-path extractor and the Perfetto flow events.
+        self.spans: Optional[SpanTracker] = SpanTracker() if spans else None
         self.runtime: Optional["BcsRuntime"] = None
         self.timeslice = 0
         self.mgmt_pid = 0
@@ -94,6 +101,8 @@ class Observability:
         runtime.scheduler.obs = self
         for nrt in runtime.node_runtimes:
             nrt.nic.obs = self
+        if self.spans is not None:
+            self.spans.attach(runtime, self.perfetto)
         if self.perfetto is not None:
             self.perfetto.process_name(
                 self.mgmt_pid, "slice machine (mgmt)", sort_index=-1
@@ -300,6 +309,13 @@ class Observability:
                     "in_flight": len(scheduler.in_flight),
                 },
             )
+        if self.spans is not None:
+            self.spans.sched_granted(granted)
+
+    def sched_retired(self, finished) -> None:
+        """Fully transferred matches dropped by the scheduler."""
+        if self.spans is not None:
+            self.spans.sched_retired(finished)
 
     # -- NIC threads (called by Nic.compute) -----------------------------------------
 

@@ -37,7 +37,9 @@ __all__ = [
 ]
 
 #: registry-snapshot metrics recorded as exact series when present.
-DEFAULT_SNAPSHOT_PATTERNS = ("sim.*", "matcher.*")
+#: ``farm.row.*`` carries per-point row values mirrored by families with
+#: ``trend_columns`` (e.g. the critpath blame shares).
+DEFAULT_SNAPSHOT_PATTERNS = ("sim.*", "matcher.*", "farm.row.*")
 
 _LABEL = re.compile(r"(\w+)=([^,}]*)")
 

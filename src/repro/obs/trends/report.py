@@ -28,15 +28,17 @@ _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 def sparkline(values: Sequence[float], width: int = 24) -> str:
     """The last ``width`` values as unicode block characters.
 
-    Scaled min..max over the shown window; a flat series renders as a
-    run of the lowest block.
+    Scaled min..max over the shown window.  A flat series (including a
+    single observation) renders as a run of the middle block — the value
+    is neither a low nor a high, and the lowest block reads as "near
+    zero" on a dashboard.
     """
     shown = [float(v) for v in values][-width:]
     if not shown:
         return ""
     lo, hi = min(shown), max(shown)
     if hi <= lo:
-        return _SPARK_BLOCKS[0] * len(shown)
+        return _SPARK_BLOCKS[len(_SPARK_BLOCKS) // 2] * len(shown)
     span = hi - lo
     out = []
     for v in shown:
@@ -138,15 +140,26 @@ def render_chart(
     if not values:
         return f"series {series_id!r}: no observations"
     lo, hi = min(values), max(values)
-    span = hi - lo or max(abs(hi), 1e-12)
+    # A flat series (every run equal — always the case with a single
+    # observation) has no min..max scale; pinning it to the bottom row
+    # would read as "near zero".  Draw it at mid-height and label the
+    # one level it sits at.
+    flat = hi <= lo
+    mid_y = (height - 1) // 2
     grid = [[" "] * len(values) for _ in range(height)]
     for x, v in enumerate(values):
-        y = int((v - lo) / span * (height - 1))
+        y = mid_y if flat else int((v - lo) / (hi - lo) * (height - 1))
         for yy in range(y + 1):
             grid[height - 1 - yy][x] = "█" if yy == y else "│"
-    lines = [f"{series_id}  (last {len(values)} runs, min {lo:.4g}, max {hi:.4g})"]
+    lines = [
+        f"{series_id}  (last {len(values)} runs, "
+        + (f"flat at {lo:.4g})" if flat else f"min {lo:.4g}, max {hi:.4g})")
+    ]
     for i, row in enumerate(grid):
-        edge = hi if i == 0 else (lo if i == height - 1 else None)
+        if flat:
+            edge = lo if i == height - 1 - mid_y else None
+        else:
+            edge = hi if i == 0 else (lo if i == height - 1 else None)
         prefix = f"{edge:>10.4g} ┤" if edge is not None else " " * 10 + " ┤"
         lines.append(prefix + "".join(row))
     lines.append(" " * 11 + "└" + "─" * len(values))

@@ -173,3 +173,74 @@ def test_cached_rows_preserve_key_order(tmp_path):
     second = run_farm(families=["selftest"], store=store, jobs=1, progress=False)
     for fresh, cached in zip(first.families[0].rows, second.families[0].rows):
         assert list(fresh) == list(cached)  # key order, not just equality
+
+
+def test_cache_hit_rate_gauge_and_summary(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    first = run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    assert first.cache_hit_rate == 0.0
+    assert first.registry.gauge("farm.cache.hit_rate").value == 0.0
+    assert first.summary_dict()["cache_hit_rate"] == 0.0
+
+    second = run_farm(families=["selftest"], store=store, jobs=1, progress=False)
+    assert second.cache_hit_rate == 1.0
+    assert second.registry.gauge("farm.cache.hit_rate").value == 1.0
+    # persisted into last-run.json, where `repro farm metrics` reads it
+    assert store.load_last_run()["cache_hit_rate"] == 1.0
+
+
+def test_cache_hit_rate_partial(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    run_farm(
+        families=[],
+        extra_specs=expand_family("selftest", "paper", {"modes": ("ok",)}),
+        store=store,
+        jobs=1,
+        progress=False,
+    )
+    # Two points, one already cached from the first run.
+    report = run_farm(
+        families=[],
+        extra_specs=expand_family("selftest", "paper", {"modes": ("ok", "ok")}),
+        store=store,
+        jobs=1,
+        progress=False,
+    )
+    assert report.n_points == 2 and report.n_cached == 1
+    assert report.cache_hit_rate == 0.5
+    assert report.registry.gauge("farm.cache.hit_rate").value == 0.5
+
+
+def test_trend_columns_mirror_rows_into_gauges_and_trend_store(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    trends = TrendStore(tmp_path / "trends")
+    report = run_farm(
+        families=["critpath"],
+        preset="smoke",
+        store=store,
+        jobs=1,
+        progress=False,
+        trend_store=trends,
+    )
+    assert report.ok
+    snap = report.registry.snapshot()
+    label = "{family=critpath,point=fig8-8-0}"
+    share_cols = (
+        "compute_pct",
+        "dem_pct",
+        "msm_pct",
+        "p2p_pct",
+        "coll_pct",
+        "wait_pct",
+    )
+    for col in share_cols:
+        assert label in snap[f"farm.row.{col}"]["series"]
+    # The blame-share columns partition the run's makespan.
+    total = sum(snap[f"farm.row.{c}"]["series"][label] for c in share_cols)
+    assert abs(total - 100.0) < 0.01
+    # ... and land in the trend store as exact series, so `repro trend
+    # check` gates on critical-path composition shifts.
+    assert (
+        "farm.row.compute_pct/family=critpath,point=fig8-8-0"
+        in trends.series_ids()
+    )

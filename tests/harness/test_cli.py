@@ -154,3 +154,46 @@ def test_farm_clean(tmp_path, capsys):
     capsys.readouterr()
     assert main(["farm", "clean", "--store", store]) == 0
     assert "removed 10" in capsys.readouterr().out
+
+
+def test_explain_prints_blame_and_writes_outputs(tmp_path, capsys):
+    blame = tmp_path / "blame.json"
+    trace = tmp_path / "trace.json"
+    rc = main(
+        [
+            "explain",
+            "fig8-p2p",
+            "--ranks",
+            "4",
+            "--json",
+            str(blame),
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "critical path of fig8-p2p" in out
+    assert "makespan" in out and "100.0%" in out
+
+    import json
+
+    payload = json.loads(blame.read_text())
+    assert payload["schema"] == 1
+    assert sum(payload["categories_ns"].values()) == payload["makespan_ns"]
+    doc = json.loads(trace.read_text())
+    assert any(e.get("cat") == "msgflow" for e in doc["traceEvents"])
+
+
+def test_explain_rejects_unknown_experiment(capsys):
+    with pytest.raises(SystemExit):
+        main(["explain", "nope"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_explain_unwritable_output_exits_2(tmp_path, capsys):
+    rc = main(
+        ["explain", "fig8", "--ranks", "4", "--json", str(tmp_path / "no" / "x.json")]
+    )
+    assert rc == 2
+    assert "cannot write" in capsys.readouterr().err

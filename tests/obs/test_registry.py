@@ -88,14 +88,49 @@ def test_label_order_does_not_matter():
 # --- cardinality -----------------------------------------------------------------
 
 
-def test_label_cardinality_bounded():
+def test_label_cardinality_overflow_is_counted_not_silent():
     reg = MetricsRegistry(max_series_per_metric=3)
     for i in range(3):
-        reg.counter("m", i=i)
-    with pytest.raises(LabelCardinalityError):
-        reg.counter("m", i=3)
-    # Existing series stay reachable after the refusal.
-    assert reg.counter("m", i=0) is not None
+        reg.counter("m", i=i).inc()
+    # Past the cap: the sample lands in the shared overflow series and
+    # the drop is counted in the self-describing counter.
+    reg.counter("m", i=3).inc()
+    reg.counter("m", i=4).inc(2)
+    dropped = reg.counter("obs.labels_dropped", metric="m")
+    assert dropped.value == 2  # one per refused label set, not per inc
+    snap = reg.snapshot()
+    assert snap["m"]["series"]["{overflow=dropped}"] == 3
+    assert "obs.labels_dropped" in reg.render()
+    # Existing series stay reachable and untouched.
+    assert reg.counter("m", i=0).value == 1
+
+
+def test_label_cardinality_overflow_instrument_matches_kind():
+    reg = MetricsRegistry(max_series_per_metric=1)
+    reg.histogram("h", k=0).observe(1.0)
+    reg.histogram("h", k=1).observe(5.0)  # overflows
+    snap = reg.snapshot()
+    assert snap["h"]["series"]["{overflow=dropped}"]["count"] == 1
+    assert reg.counter("obs.labels_dropped", metric="h").value == 1
+
+
+def test_labels_dropped_counter_is_exempt_from_its_own_cap():
+    reg = MetricsRegistry(max_series_per_metric=2)
+    # Overflow three distinct metrics: obs.labels_dropped then needs
+    # three label sets of its own — more than the cap — and must grow
+    # anyway rather than recurse into itself.
+    for name in ("a", "b", "c"):
+        for i in range(3):
+            reg.counter(name, i=i).inc()
+    series = reg.snapshot()["obs.labels_dropped"]["series"]
+    assert "{overflow=dropped}" not in series
+    assert series == {"{metric=a}": 1, "{metric=b}": 1, "{metric=c}": 1}
+
+
+def test_label_cardinality_error_still_importable():
+    # Back-compat: the exception type remains exported even though the
+    # registry no longer raises it.
+    assert issubclass(LabelCardinalityError, ValueError)
 
 
 # --- snapshot / render / reset ------------------------------------------------------

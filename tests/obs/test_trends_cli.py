@@ -224,7 +224,10 @@ def test_record_unreadable_input_exits_2(tmp_path, capsys):
 
 def test_sparkline_and_render_helpers(tmp_path):
     assert sparkline([]) == ""
-    assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+    # Flat (and single-point) series sit at the middle block, not the
+    # bottom one — the bottom reads as "near zero".
+    assert sparkline([1.0, 1.0, 1.0]) == "▅▅▅"
+    assert sparkline([42.0]) == "▅"
     line = sparkline([0.0, 1.0, 2.0, 3.0])
     assert line[0] == "▁" and line[-1] == "█"
     assert len(sparkline(list(range(100)), width=24)) == 24
@@ -236,3 +239,39 @@ def test_sparkline_and_render_helpers(tmp_path):
     assert "max 3" in chart and "█" in chart
     empty = TrendStore(tmp_path / "empty")
     assert "empty" in render_report(empty)
+
+
+def test_render_chart_empty_series(tmp_path):
+    store = TrendStore(tmp_path / "ts")
+    out = render_chart(store, "never.recorded")
+    assert "no observations" in out
+    assert "█" not in out
+
+
+def test_render_chart_single_point_sits_mid_height(tmp_path):
+    store = _seed_store(tmp_path / "ts", "s", [7.5])
+    chart = render_chart(store, "s", height=10)
+    lines = chart.splitlines()
+    assert "flat at 7.5" in lines[0]
+    bar_rows = [i for i, ln in enumerate(lines) if "█" in ln]
+    assert len(bar_rows) == 1
+    # height 10 -> plot rows 1..10; the bar must not hug the bottom row
+    assert bar_rows[0] not in (1, 10)
+    assert "7.5" in lines[bar_rows[0]]  # value labeled on the bar's row
+
+
+def test_render_chart_two_point_flat_series(tmp_path):
+    store = _seed_store(tmp_path / "ts", "s", [3.0, 3.0])
+    chart = render_chart(store, "s", height=6)
+    assert "flat at 3" in chart
+    bar_lines = [ln for ln in chart.splitlines() if "██" in ln]
+    assert len(bar_lines) == 1  # both columns drawn, same mid row
+
+
+def test_render_chart_two_point_rising_series(tmp_path):
+    store = _seed_store(tmp_path / "ts", "s", [1.0, 2.0])
+    chart = render_chart(store, "s", height=4)
+    assert "min 1" in chart and "max 2" in chart
+    lines = chart.splitlines()
+    assert "█" in lines[1]  # the max lands on the top plot row
+    assert "█" in lines[-2]  # the min on the bottom plot row

@@ -77,3 +77,46 @@ def test_golden_runtime_unchanged_with_observability(app, backend, params, expec
     # The instrumentation must actually have run, not been skipped.
     assert obs.registry.counter("bcs.slice.count", kind="active").value > 0
     assert obs.perfetto.n_events > 0
+
+
+@pytest.mark.parametrize(
+    "app,backend,params,expected",
+    [g for g in GOLDEN if g[1] == "bcs"],
+    ids=[f"{a.__name__}-spans" for a, b, _, _ in GOLDEN if b == "bcs"],
+)
+def test_golden_runtime_unchanged_with_span_tracing(app, backend, params, expected):
+    """Causal span tracing must not perturb simulated time either.
+
+    ``Observability(spans=True)`` adds per-message lifecycle hooks on
+    the DEM/MSM/P2P hot paths; all of them are reads, so the golden
+    virtual times stay byte-identical with tracing on.
+    """
+    from repro.obs import Observability
+
+    obs = Observability(spans=True)
+    result = run_workload(
+        app, 8, backend, params=params, bcs_config=BC, obs=obs
+    )
+    assert result.runtime_ns == expected, (
+        f"{app.__name__} with span tracing attached: instrumentation "
+        f"perturbed virtual time ({result.runtime_ns} ns vs {expected} ns)"
+    )
+    # Tracing must actually have captured spans, not been skipped.
+    assert obs.spans is not None
+    assert obs.spans.collectives or obs.spans.n_delivered > 0
+    assert len(obs.spans.rank_finish) == 8
+
+
+def test_explain_json_byte_identical_across_runs(tmp_path):
+    """``repro explain`` is deterministic down to the output bytes."""
+    from repro.harness.cli import main
+
+    paths = [tmp_path / "blame-a.json", tmp_path / "blame-b.json"]
+    for path in paths:
+        rc = main(
+            ["explain", "fig8", "--ranks", "4", "--json", str(path)]
+        )
+        assert rc == 0
+    a, b = (p.read_bytes() for p in paths)
+    assert a == b
+    assert a  # non-empty payload
