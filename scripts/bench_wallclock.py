@@ -33,6 +33,7 @@ import argparse
 import json
 import math
 import platform
+import resource
 import sys
 import time
 from pathlib import Path
@@ -42,7 +43,10 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.apps.sage import sage  # noqa: E402
 from repro.apps.sweep3d import sweep3d_blocking  # noqa: E402
-from repro.apps.synthetic import barrier_benchmark  # noqa: E402
+from repro.apps.synthetic import (  # noqa: E402
+    barrier_benchmark,
+    nearest_neighbor_benchmark,
+)
 from repro.bcs import BcsConfig, BcsRuntime  # noqa: E402
 from repro.harness.runner import run_workload  # noqa: E402
 from repro.network import Cluster, ClusterSpec  # noqa: E402
@@ -62,6 +66,15 @@ MICRO_MIN_SPEEDUP = 0.90
 #: defaults (idle fast-forward + incremental active sets + hash matcher)
 #: than with the historical per-slice full-scan path.
 SCALING_MIN_SPEEDUP = 10.0
+#: Per-benchmark floors that override the kind-level defaults above.
+#: ``barrier_micro`` is the dense regime the batched slice engine must
+#: not lose (the batched DEM/MSM holds plus descriptor pooling have to
+#: at least pay for themselves); ``scaling_4096`` is the ISSUE-7 regime
+#: where the full optimized stack must beat the reference stack >= 30x.
+BENCH_MIN_SPEEDUP = {
+    "barrier_micro": 1.0,
+    "scaling_4096": 30.0,
+}
 
 
 def benchmarks(quick: bool):
@@ -120,6 +133,15 @@ def benchmarks(quick: bool):
             dict(init_cost=0),
             512,
         ),
+        (
+            "scaling_4096",
+            "scaling",
+            nearest_neighbor_benchmark,
+            8,
+            dict(iterations=6 if quick else 12, granularity=ms(100)),
+            dict(init_cost=0),
+            4096,
+        ),
     ]
 
 
@@ -129,8 +151,21 @@ def _slow_config(**cfg_kwargs) -> BcsConfig:
         idle_fast_forward=False,
         matcher="linear",
         incremental_active_sets=False,
+        batched_matching=False,
         **cfg_kwargs,
     )
+
+
+def _peak_rss_mib() -> float:
+    """Process peak RSS in MiB (``ru_maxrss`` is KiB on Linux).
+
+    The kernel counter is a cumulative high-water mark: it only ever
+    grows over the process lifetime, so each benchmark's record holds
+    the high-water mark *observed after it ran*, not an isolated
+    footprint.  Growth between consecutive benchmarks is still the
+    signal the ``bench.rss.*`` trend series watches for.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def run_case(app, n_ranks, params, cfg_kwargs, reps: int):
@@ -206,11 +241,13 @@ def run_suite(quick: bool) -> dict:
                 f"{name}: virtual time diverged — optimized {fast.runtime_ns} ns "
                 f"vs reference {slow.runtime_ns} ns"
             )
-        raw[name] = (kind, wall_fast, wall_slow, fast)
+        rss_mib = _peak_rss_mib()
+        raw[name] = (kind, wall_fast, wall_slow, fast, rss_mib)
         print(
             f"{name:16s} [{kind}]  optimized {wall_fast:7.3f}s  "
             f"reference {wall_slow:7.3f}s  speedup {wall_slow / wall_fast:5.2f}x  "
-            f"skipped {fast.stats.get('idle_slices_skipped', 0)}"
+            f"skipped {fast.stats.get('idle_slices_skipped', 0)}  "
+            f"rss {rss_mib:6.1f}MiB"
         )
     out = {
         "schema": SCHEMA,
@@ -219,7 +256,7 @@ def run_suite(quick: bool) -> dict:
         "python": platform.python_version(),
         "benchmarks": {},
     }
-    for name, (kind, wall_fast, wall_slow, fast) in raw.items():
+    for name, (kind, wall_fast, wall_slow, fast, rss_mib) in raw.items():
         out["benchmarks"][name] = {
             "kind": kind,
             "wall_s": round(wall_fast, 4),
@@ -228,6 +265,7 @@ def run_suite(quick: bool) -> dict:
             "normalized": round(wall_fast / calibration.best, 3),
             "virtual_ns": fast.runtime_ns,
             "idle_slices_skipped": fast.stats.get("idle_slices_skipped", 0),
+            "peak_rss_mib": round(rss_mib, 1),
         }
     return out
 
@@ -243,7 +281,14 @@ def check(report: dict) -> int:
     failures = []
     macro_speedups = {}
     for name, rec in report["benchmarks"].items():
-        if rec["kind"] == "macro":
+        floor = BENCH_MIN_SPEEDUP.get(name)
+        if floor is not None:
+            if rec["speedup"] < floor:
+                failures.append(
+                    f"{name}: below its dedicated floor "
+                    f"({rec['speedup']:.2f}x < {floor:.2f}x)"
+                )
+        elif rec["kind"] == "macro":
             macro_speedups[name] = rec["speedup"]
         elif rec["kind"] == "scaling":
             if rec["speedup"] < SCALING_MIN_SPEEDUP:

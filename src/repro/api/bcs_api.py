@@ -19,9 +19,7 @@ from ..bcs.descriptors import (
     ANY_SOURCE,
     ANY_TAG,
     BcsRequest,
-    CollectiveDescriptor,
     RecvDescriptor,
-    SendDescriptor,
     payload_nbytes,
 )
 
@@ -55,15 +53,16 @@ class BcsApi:
         if not 0 <= dest < info.size:
             raise ValueError(f"destination rank {dest} outside communicator")
         nbytes = payload_nbytes(payload, size)
-        req = BcsRequest(self.env, "send")
-        desc = SendDescriptor(
-            job_id=info.job.id,
-            comm_id=info.comm_id,
-            src_rank=src_rank,
-            dst_rank=dest,
-            tag=tag,
-            size=nbytes,
-            request=req,
+        pools = self.runtime.pools
+        req = pools.request(self.env, "send")
+        desc = pools.send(
+            info.job.id,
+            info.comm_id,
+            src_rank,
+            dest,
+            tag,
+            nbytes,
+            req,
             payload=payload,
             seq=handle.next_send_seq(info.comm_id, dest),
         )
@@ -103,15 +102,16 @@ class BcsApi:
         """bcs_recv(non-blocking): post a receive descriptor."""
         if source != ANY_SOURCE and not 0 <= source < info.size:
             raise ValueError(f"source rank {source} outside communicator")
-        req = BcsRequest(self.env, "recv")
-        desc = RecvDescriptor(
-            job_id=info.job.id,
-            comm_id=info.comm_id,
-            rank=rank,
-            src_rank=source,
-            tag=tag,
-            capacity=UNLIMITED if size is None else size,
-            request=req,
+        pools = self.runtime.pools
+        req = pools.request(self.env, "recv")
+        desc = pools.recv(
+            info.job.id,
+            info.comm_id,
+            rank,
+            source,
+            tag,
+            UNLIMITED if size is None else size,
+            req,
         )
         handle.nrt.post_recv(desc)
         handle.pending_overhead += self.runtime.config.descriptor_post_cost
@@ -139,15 +139,16 @@ class BcsApi:
             raise ValueError(f"unknown collective kind {kind!r}")
         if not 0 <= root < info.size:
             raise ValueError(f"root rank {root} outside communicator")
-        req = BcsRequest(self.env, kind)
-        desc = CollectiveDescriptor(
-            job_id=info.job.id,
-            comm_id=info.comm_id,
-            kind=kind,
-            rank=rank,
-            root=root,
-            epoch=handle.next_epoch(info.comm_id),
-            request=req,
+        pools = self.runtime.pools
+        req = pools.request(self.env, kind)
+        desc = pools.coll(
+            info.job.id,
+            info.comm_id,
+            kind,
+            rank,
+            root,
+            handle.next_epoch(info.comm_id),
+            req,
             op=op,
             size=payload_nbytes(payload, size),
             payload=payload,
@@ -259,6 +260,7 @@ class BcsApi:
         """bcs_barrier."""
         req = self.post_collective(handle, info, rank, "barrier")
         yield from self.wait(handle, [req])
+        self._maybe_release(req)
 
     def bcast(self, handle, info, rank, payload=None, root=0, size=None):
         """bcs_bcast; every rank returns the broadcast payload."""
@@ -266,7 +268,9 @@ class BcsApi:
             handle, info, rank, "bcast", root=root, payload=payload, size=size
         )
         yield from self.wait(handle, [req])
-        return req.payload
+        result = req.payload
+        self._maybe_release(req)
+        return result
 
     def reduce(self, handle, info, rank, payload, op, root=0, all_ranks=False):
         """bcs_reduce (``all_ranks`` selects the allreduce variant)."""
@@ -275,9 +279,28 @@ class BcsApi:
             handle, info, rank, kind, root=root, op=op, payload=payload
         )
         yield from self.wait(handle, [req])
-        return req.payload
+        result = req.payload
+        self._maybe_release(req)
+        return result
 
     # -- internals ------------------------------------------------------------------------------
+
+    def _maybe_release(self, req: BcsRequest) -> None:
+        """Recycle a request that never escaped to the caller.
+
+        Only the blocking collective wrappers qualify — they return the
+        payload (or nothing), never the handle, and their descriptor was
+        already recycled when the epoch completed.  Skipped when span
+        tracing is active: the tracker keys live wait references by
+        request object identity.
+        """
+        runtime = self.runtime
+        if not runtime.config.batched_matching:
+            return
+        obs = runtime.obs
+        if obs is not None and obs.spans is not None:
+            return
+        runtime.pools.release_request(req)
 
     def _flush_overhead(self, handle: "RankHandle") -> Generator:
         t = handle.take_overhead()

@@ -73,6 +73,16 @@ class BcsConfig:
     #: full-scan path is kept as the reference oracle (pure simulator
     #: wall-clock optimization; virtual timings are identical).
     incremental_active_sets: bool = True
+    #: Batched slice engine: during the DEM/MSM microphases the NIC
+    #: threads gather a node's pending descriptors into per-slice
+    #: batches — one NIC hold covers the whole batch (same total cost,
+    #: fewer simulator events) and the matcher resolves the batch with
+    #: vectorized numpy bucket joins, falling back to the object path
+    #: for wildcard (``ANY_SOURCE``/``ANY_TAG``) descriptors so MPI
+    #: ordering semantics are preserved exactly.  The per-descriptor
+    #: object path is kept as the differential oracle (pure simulator
+    #: wall-clock optimization; virtual timings are identical).
+    batched_matching: bool = True
 
     def __post_init__(self):
         if self.timeslice <= 0:

@@ -50,10 +50,16 @@ and dropped when dead.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..sim.errors import SimError
 from .descriptors import ANY_SOURCE, ANY_TAG, Match, RecvDescriptor, SendDescriptor
+
+#: Below this many descriptors a batch takes the sequential object path —
+#: the SoA column setup costs more than the vectorized join saves.
+BATCH_MIN = 8
 
 
 class TruncationError(SimError):
@@ -100,6 +106,42 @@ class _MatcherBase:
             total_bytes=send.size,
             matched_via=via,
         )
+
+    # -- batch feeds -----------------------------------------------------------
+
+    def add_send_batch(
+        self, sends: Sequence[SendDescriptor]
+    ) -> List[Tuple[int, Match]]:
+        """Feed a batch of arrived sends; returns ``[(index, match), ...]``.
+
+        Reference semantics: exactly equivalent to calling
+        :meth:`add_send` for each descriptor in order.  Subclasses may
+        override with a vectorized implementation producing the
+        identical match sequence.
+        """
+        out: List[Tuple[int, Match]] = []
+        add = self.add_send
+        for i, send in enumerate(sends):
+            m = add(send)
+            if m is not None:
+                out.append((i, m))
+        return out
+
+    def add_recv_batch(
+        self, recvs: Sequence[RecvDescriptor]
+    ) -> List[Tuple[int, Match]]:
+        """Feed a batch of posted receives; returns ``[(index, match), ...]``.
+
+        Reference semantics: equivalent to sequential :meth:`add_recv`
+        calls in order.
+        """
+        out: List[Tuple[int, Match]] = []
+        add = self.add_recv
+        for i, recv in enumerate(recvs):
+            m = add(recv)
+            if m is not None:
+                out.append((i, m))
+        return out
 
     @property
     def pending_counts(self) -> tuple[int, int]:
@@ -187,6 +229,7 @@ class HashMatcher(_MatcherBase):
         "_u_tag",
         "_u_any",
         "_p_buckets",
+        "_wild_posted",
     )
 
     def __init__(self, node_id: int, totals: Optional[MatcherTotals] = None):
@@ -194,6 +237,10 @@ class HashMatcher(_MatcherBase):
         self.totals = totals if totals is not None else MatcherTotals()
         #: Shared arrival clock across both queues.
         self._seq = 0
+        #: Posted receives whose pattern contains a wildcard.  While this
+        #: is zero, an arrived send can only match its exact bucket — the
+        #: precondition for the vectorized batch join.
+        self._wild_posted = 0
         #: Authoritative unexpected-send queue: desc_id -> (seq, send),
         #: insertion-ordered (= arrival order).
         self._usends: Dict[int, Tuple[int, SendDescriptor]] = {}
@@ -242,6 +289,8 @@ class HashMatcher(_MatcherBase):
             _, recv = best_bucket.popleft()
             del precvs[recv.desc_id]
             self.totals.posted -= 1
+            if recv.src_rank == ANY_SOURCE or recv.tag == ANY_TAG:
+                self._wild_posted -= 1
             return self._pair(send, recv, "send")
 
         self._seq += 1
@@ -283,9 +332,219 @@ class HashMatcher(_MatcherBase):
 
         self._seq += 1
         self.totals.posted += 1
+        if s == ANY_SOURCE or t == ANY_TAG:
+            self._wild_posted += 1
         self._precvs[recv.desc_id] = (self._seq, recv)
         _append(self._p_buckets, (j, c, r, s, t), (self._seq, recv))
         return None
+
+    # -- batch feeds -----------------------------------------------------------
+
+    def add_send_batch(
+        self, sends: Sequence[SendDescriptor]
+    ) -> List[Tuple[int, Match]]:
+        """Vectorized arrived-send batch (identical sequence to add_send).
+
+        Fast path precondition: no wildcard receive is posted, so every
+        send can only match the posted bucket keyed by its own exact
+        pattern.  The join is decided in one pass over SoA columns
+        (stable lexsort grouping by ``(job, comm, dst, src, tag)``),
+        then applied in original batch order so seqs, pops and
+        truncation raises land exactly where the object path puts them.
+        Wildcards present, or a tiny batch, fall back to the object path.
+        """
+        n = len(sends)
+        if n < BATCH_MIN or self._wild_posted:
+            return _MatcherBase.add_send_batch(self, sends)
+
+        job = np.fromiter((s.job_id for s in sends), np.int64, n)
+        comm = np.fromiter((s.comm_id for s in sends), np.int64, n)
+        dst = np.fromiter((s.dst_rank for s in sends), np.int64, n)
+        src = np.fromiter((s.src_rank for s in sends), np.int64, n)
+        tag = np.fromiter((s.tag for s in sends), np.int64, n)
+        # Stable sort: equal keys keep batch order, so the k-th group
+        # member (in batch order) is the k-th claimant of its bucket.
+        order = np.lexsort((tag, src, dst, comm, job))
+        oj, oc, od, os_, ot = (
+            job[order], comm[order], dst[order], src[order], tag[order],
+        )
+        newgrp = np.empty(n, dtype=bool)
+        newgrp[0] = True
+        newgrp[1:] = (
+            (oj[1:] != oj[:-1])
+            | (oc[1:] != oc[:-1])
+            | (od[1:] != od[:-1])
+            | (os_[1:] != os_[:-1])
+            | (ot[1:] != ot[:-1])
+        )
+        grp = np.cumsum(newgrp) - 1
+        starts = np.flatnonzero(newgrp)
+        pos = np.arange(n)
+        occ = pos - starts[grp]  # claim rank within the group
+
+        precvs = self._precvs
+        buckets = self._p_buckets
+        # Per-group availability from the (compacted) exact bucket.
+        # Removing stale entries eagerly is invisible to the object
+        # path, which would drop them lazily at the head anyway.
+        avail = np.zeros(len(starts), dtype=np.int64)
+        group_buckets: List[Optional[Deque[Tuple[int, RecvDescriptor]]]] = []
+        for g, st in enumerate(starts):
+            s0 = sends[order[st]]
+            key = (s0.job_id, s0.comm_id, s0.dst_rank, s0.src_rank, s0.tag)
+            bucket = buckets.get(key)
+            if bucket is not None:
+                if any(e[1].desc_id not in precvs for e in bucket):
+                    bucket = deque(
+                        e for e in bucket if e[1].desc_id in precvs
+                    )
+                    if bucket:
+                        buckets[key] = bucket
+                    else:
+                        del buckets[key]
+                        bucket = None
+            group_buckets.append(bucket)
+            avail[g] = len(bucket) if bucket is not None else 0
+        matched = occ < avail[grp]
+
+        takes: Dict[int, Deque[Tuple[int, RecvDescriptor]]] = {}
+        for p in np.flatnonzero(matched):
+            takes[int(order[p])] = group_buckets[grp[p]]
+
+        out: List[Tuple[int, Match]] = []
+        totals = self.totals
+        usends = self._usends
+        for i, send in enumerate(sends):
+            bucket = takes.get(i)
+            if bucket is not None:
+                _, recv = bucket.popleft()
+                del precvs[recv.desc_id]
+                totals.posted -= 1
+                out.append((i, self._pair(send, recv, "send")))
+            else:
+                self._seq += 1
+                totals.unexpected += 1
+                entry = (self._seq, send)
+                j, c, d = send.job_id, send.comm_id, send.dst_rank
+                usends[send.desc_id] = entry
+                _append(self._u_exact, (j, c, d, send.src_rank, send.tag), entry)
+                _append(self._u_src, (j, c, d, send.src_rank), entry)
+                _append(self._u_tag, (j, c, d, send.tag), entry)
+                _append(self._u_any, (j, c, d), entry)
+        return out
+
+    def add_recv_batch(
+        self, recvs: Sequence[RecvDescriptor]
+    ) -> List[Tuple[int, Match]]:
+        """Vectorized posted-receive batch (identical sequence to add_recv).
+
+        The batch is split into maximal runs of exact-pattern receives
+        (vectorizable: two exact receives with different keys can never
+        compete for the same send, and same-key receives claim bucket
+        entries in batch order) interleaved — in batch order — with
+        wildcard receives handled one at a time on the object path.
+        """
+        n = len(recvs)
+        if n < BATCH_MIN:
+            return _MatcherBase.add_recv_batch(self, recvs)
+        src = np.fromiter((r.src_rank for r in recvs), np.int64, n)
+        tag = np.fromiter((r.tag for r in recvs), np.int64, n)
+        wild = (src == ANY_SOURCE) | (tag == ANY_TAG)
+        out: List[Tuple[int, Match]] = []
+        bounds = np.flatnonzero(wild[1:] != wild[:-1]) + 1
+        lo = 0
+        for hi in [*bounds.tolist(), n]:
+            if wild[lo]:
+                add = self.add_recv
+                for i in range(lo, hi):
+                    m = add(recvs[i])
+                    if m is not None:
+                        out.append((i, m))
+            else:
+                self._recv_exact_run(recvs, lo, hi, out)
+            lo = hi
+        return out
+
+    def _recv_exact_run(
+        self,
+        recvs: Sequence[RecvDescriptor],
+        lo: int,
+        hi: int,
+        out: List[Tuple[int, Match]],
+    ) -> None:
+        """Vectorized join for a run of wildcard-free receives."""
+        n = hi - lo
+        run = range(lo, hi)
+        job = np.fromiter((recvs[i].job_id for i in run), np.int64, n)
+        comm = np.fromiter((recvs[i].comm_id for i in run), np.int64, n)
+        rnk = np.fromiter((recvs[i].rank for i in run), np.int64, n)
+        src = np.fromiter((recvs[i].src_rank for i in run), np.int64, n)
+        tag = np.fromiter((recvs[i].tag for i in run), np.int64, n)
+        order = np.lexsort((tag, src, rnk, comm, job))
+        oj, oc, orr, os_, ot = (
+            job[order], comm[order], rnk[order], src[order], tag[order],
+        )
+        newgrp = np.empty(n, dtype=bool)
+        newgrp[0] = True
+        newgrp[1:] = (
+            (oj[1:] != oj[:-1])
+            | (oc[1:] != oc[:-1])
+            | (orr[1:] != orr[:-1])
+            | (os_[1:] != os_[:-1])
+            | (ot[1:] != ot[:-1])
+        )
+        grp = np.cumsum(newgrp) - 1
+        starts = np.flatnonzero(newgrp)
+        occ = np.arange(n) - starts[grp]
+
+        usends = self._usends
+        family = self._u_exact
+        avail = np.zeros(len(starts), dtype=np.int64)
+        group_info: List[Optional[tuple]] = []
+        for g, st in enumerate(starts):
+            r0 = recvs[lo + int(order[st])]
+            key = (r0.job_id, r0.comm_id, r0.rank, r0.src_rank, r0.tag)
+            bucket = family.get(key)
+            if bucket is not None:
+                if any(e[1].desc_id not in usends for e in bucket):
+                    bucket = deque(
+                        e for e in bucket if e[1].desc_id in usends
+                    )
+                    if bucket:
+                        family[key] = bucket
+                    else:
+                        del family[key]
+                        bucket = None
+            group_info.append((key, bucket) if bucket is not None else None)
+            avail[g] = len(bucket) if bucket is not None else 0
+        matched = occ < avail[grp]
+
+        takes: Dict[int, tuple] = {}
+        for p in np.flatnonzero(matched):
+            takes[lo + int(order[p])] = group_info[grp[p]]
+
+        totals = self.totals
+        for i in run:
+            info = takes.get(i)
+            recv = recvs[i]
+            if info is not None:
+                key, bucket = info
+                _, send = bucket.popleft()
+                if not bucket:
+                    del family[key]
+                del usends[send.desc_id]
+                totals.unexpected -= 1
+                out.append((i, self._pair(send, recv, "recv")))
+            else:
+                self._seq += 1
+                totals.posted += 1
+                entry = (self._seq, recv)
+                self._precvs[recv.desc_id] = entry
+                _append(
+                    self._p_buckets,
+                    (recv.job_id, recv.comm_id, recv.rank, recv.src_rank, recv.tag),
+                    entry,
+                )
 
     # -- maintenance -----------------------------------------------------------
 
@@ -316,10 +575,13 @@ class HashMatcher(_MatcherBase):
             _append(self._u_src, (j, c, d, send.src_rank), entry)
             _append(self._u_tag, (j, c, d, send.tag), entry)
             _append(self._u_any, (j, c, d), entry)
+        self._wild_posted = 0
         for entry in self._precvs.values():
             recv = entry[1]
             key = (recv.job_id, recv.comm_id, recv.rank, recv.src_rank, recv.tag)
             _append(self._p_buckets, key, entry)
+            if recv.src_rank == ANY_SOURCE or recv.tag == ANY_TAG:
+                self._wild_posted += 1
 
     # -- views -----------------------------------------------------------------
 

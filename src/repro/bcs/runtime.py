@@ -22,6 +22,7 @@ from ..core import BcsCore
 from ..network import Cluster
 from ..storm.job import Job, JobSpec, block_placement
 from .config import BcsConfig
+from .descriptors import DescriptorPools
 from .matching import MatcherTotals
 from .node_manager import NodeManager
 from .scheduler import SliceScheduler
@@ -209,6 +210,11 @@ class BcsRuntime:
 
         #: Answer per-slice queries from incremental sets (config flag).
         self._incremental = self.config.incremental_active_sets
+        #: Free-list pools for descriptors/requests (the batched slice
+        #: engine's allocation leg; recycling only happens with
+        #: ``config.batched_matching`` — acquire falls through to plain
+        #: construction when the pools are empty).
+        self.pools = DescriptorPools()
         #: Machine-wide matcher aggregates, shared by every node matcher.
         self.matcher_totals = MatcherTotals()
         # Incrementally maintained active-node id sets (see the module-
@@ -243,6 +249,12 @@ class BcsRuntime:
         self.job_stats: Dict[int, Counter] = {}
         self.comms: Dict[tuple, CommInfo] = {}
         self._comm_by_members: Dict[tuple, CommInfo] = {}
+        #: Two-level (job -> comm -> info) mirror of ``comms``: the hot
+        #: paths look a communicator up per descriptor, and the flat
+        #: tuple key would allocate a fresh ``(job, comm)`` tuple each
+        #: time.  Communicators are never unregistered, so this never
+        #: goes stale.
+        self._comm_cache: Dict[int, Dict[int, CommInfo]] = {}
         #: Live rank processes: (job_id, rank) -> sim Process (for
         #: failure injection / fault tolerance).
         self.rank_procs: Dict[tuple, object] = {}
@@ -278,8 +290,13 @@ class BcsRuntime:
         return self.node_runtimes[node_id]
 
     def comm_info(self, job_id: int, comm_id: int) -> CommInfo:
-        """Communicator metadata."""
-        return self.comms[(job_id, comm_id)]
+        """Communicator metadata (allocation-free interned lookup)."""
+        try:
+            return self._comm_cache[job_id][comm_id]
+        except KeyError:
+            info = self.comms[(job_id, comm_id)]
+            self._comm_cache.setdefault(job_id, {})[comm_id] = info
+            return info
 
     def register_comm(self, job: Job, world_ranks: Sequence[int]) -> CommInfo:
         """Create (or fetch) the communicator over a subset of a job's ranks.
@@ -295,6 +312,7 @@ class BcsRuntime:
         comm_id = sum(1 for key in self.comms if key[0] == job.id)
         info = CommInfo(job, comm_id, world_ranks)
         self.comms[(job.id, comm_id)] = info
+        self._comm_cache.setdefault(job.id, {})[comm_id] = info
         self._comm_by_members[member_key] = info
         return info
 
@@ -481,12 +499,22 @@ class BcsRuntime:
     # incremental path by ``tests/bcs/test_active_sets.py``.
 
     def _prune_live(self, node_set: set, pred) -> bool:
-        """Evict stale members of ``node_set``; True if any remain."""
+        """Evict stale members of ``node_set``; True if any remain.
+
+        Allocation-free in the steady state: the eviction list is only
+        materialized when a stale member is actually found.
+        """
         if not node_set:
             return False
         rts = self.node_runtimes
-        dead = [n for n in node_set if not pred(rts[n])]
-        if dead:
+        dead = None
+        for n in node_set:
+            if not pred(rts[n]):
+                if dead is None:
+                    dead = [n]
+                else:
+                    dead.append(n)
+        if dead is not None:
             node_set.difference_update(dead)
         return bool(node_set)
 
@@ -512,6 +540,28 @@ class BcsRuntime:
         return bool(self.scheduler.in_flight) or any(
             nrt.has_work() for nrt in self.node_runtimes
         )
+
+    def slice_work(self) -> tuple:
+        """Combined per-slice query: ``(any_work(), dem_nodes())``.
+
+        The Strobe Sender needs both answers back to back with no yield
+        point in between, so one DEM-set prune can serve both instead of
+        pruning it once for ``any_work`` and again for ``dem_nodes``.
+        Results are identical to calling the two queries in sequence.
+        """
+        dem = self.dem_nodes()
+        if dem or self.scheduler.in_flight:
+            return True, dem
+        if self._incremental:
+            active = self._prune_live(
+                self._arrived_set, _arrived_pending
+            ) or self._prune_live(self._coll_set, _coll_pending)
+        else:
+            active = any(
+                nrt.arrived_sends or nrt.pending_epochs
+                for nrt in self.node_runtimes
+            )
+        return active, dem
 
     def dem_nodes(self) -> List[int]:
         """Nodes with descriptors to drain/exchange."""
@@ -543,12 +593,13 @@ class BcsRuntime:
         """Nodes with arrived sends to match or collectives to schedule."""
         if not self._incremental:
             return self.msm_nodes_scan()
-        out = set(self._live_sorted(self._arrived_set, _arrived_pending))
-        for node_id in self._live_sorted(self._coll_set, _coll_pending):
-            if node_id not in out and self._msm_schedulable(
-                self.node_runtimes[node_id]
-            ):
-                out.add(node_id)
+        self._prune_live(self._arrived_set, _arrived_pending)
+        out = set(self._arrived_set)
+        if self._prune_live(self._coll_set, _coll_pending):
+            rts = self.node_runtimes
+            for node_id in self._coll_set:
+                if node_id not in out and self._msm_schedulable(rts[node_id]):
+                    out.add(node_id)
         return sorted(out)
 
     def msm_nodes_scan(self) -> List[int]:
@@ -583,12 +634,18 @@ class BcsRuntime:
     def _nodes_with_scheduled(self, kinds: tuple, driver_only: bool) -> List[int]:
         rts = self.node_runtimes
         if self._incremental:
-            candidates = self._live_sorted(self._coll_set, _coll_pending)
-        else:
-            candidates = range(len(rts))
+            if not self._prune_live(self._coll_set, _coll_pending):
+                return []
+            out = [
+                node_id
+                for node_id in self._coll_set
+                if self._node_has_scheduled(rts[node_id], kinds, driver_only)
+            ]
+            out.sort()
+            return out
         return [
             node_id
-            for node_id in candidates
+            for node_id in range(len(rts))
             if self._node_has_scheduled(rts[node_id], kinds, driver_only)
         ]
 

@@ -153,23 +153,35 @@ class StrobeSender:
                 slice_waiters.clear()
 
             # Idle short-circuit: settle ``active`` before any telemetry
-            # bookkeeping.  any_work() only reads queues (and prunes the
-            # runtime's lazy sets), so sampling it ahead of slice_begin
-            # is observationally identical to the historical order.
-            active = runtime.any_work()
+            # bookkeeping.  slice_work() only reads queues (and prunes
+            # the runtime's lazy sets), so sampling it ahead of
+            # slice_begin is observationally identical to the historical
+            # order.  It also answers the DEM node query in the same
+            # pass — there is no yield point between here and the DEM
+            # microphase, so the two-call sequence it replaces saw the
+            # exact same state.
+            active, dem_nodes = runtime.slice_work()
             obs = runtime.obs
             if obs is not None:
                 obs.slice_begin(runtime.slice_no, start)
 
             if active:
                 runtime.stats["active_slices"] += 1
-                yield from self._microphase(DEM, runtime.dem_nodes(), mins[DEM])
+                yield from self._microphase(DEM, dem_nodes, mins[DEM])
                 yield from self._microphase(MSM, runtime.msm_nodes(), mins[MSM])
                 granted = runtime.global_schedule()
                 yield from self._microphase(
                     P2P, sorted({m.dst_node for m in granted}), 0, payload=granted
                 )
-                runtime.scheduler.retire_finished()
+                retired = runtime.scheduler.retire_finished()
+                if retired and cfg.batched_matching:
+                    # A retired match was the last holder of its pair of
+                    # descriptors (requests are completed at delivery and
+                    # owned by the application): recycle them.
+                    pools = runtime.pools
+                    for m in retired:
+                        pools.release_send(m.send)
+                        pools.release_recv(m.recv)
                 yield from self._microphase(BBM, runtime.bbm_nodes(), 0)
                 yield from self._microphase(RM, runtime.rm_nodes(), 0)
 

@@ -219,11 +219,28 @@ class NodeRuntime:
         restarted by the NM posts immediately) still precedes the DEM,
         which starts one strobe latency later, so the comparison is
         inclusive.
+
+        ``posted_at`` is monotone nondecreasing along the FIFO (posts
+        stamp ``env.now``; purges preserve order), so the common whole
+        queue / empty cases are O(1) checks at the ends and the mixed
+        case is a binary-search split instead of two full list scans.
         """
         cutoff = self.slice_start_time
-        take = [d for d in queue if d.posted_at <= cutoff]
-        if take:
-            queue[:] = [d for d in queue if d.posted_at > cutoff]
+        if not queue or queue[0].posted_at > cutoff:
+            return []
+        if queue[-1].posted_at <= cutoff:
+            take = queue[:]
+            queue.clear()
+            return take
+        lo, hi = 0, len(queue)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if queue[mid].posted_at <= cutoff:
+                lo = mid + 1
+            else:
+                hi = mid
+        take = queue[:lo]
+        del queue[:lo]
         return take
 
     # -- collective helpers ------------------------------------------------------------
@@ -266,6 +283,12 @@ class NodeRuntime:
         obs = self.runtime.obs
         if obs is not None and obs.spans is not None:
             obs.spans.coll_completed(job_id, comm_id, epoch)
+        if self.config.batched_matching:
+            # The epoch record was the last holder of these descriptors.
+            pools = self.runtime.pools
+            for desc in ep.descs:
+                pools.release_coll(desc)
+            ep.descs.clear()
 
     def __repr__(self) -> str:
         return f"<NodeRuntime node={self.node_id}>"
@@ -307,10 +330,35 @@ class BufferReceiver:
         self.nrt = nrt
 
     def dem_phase(self):
-        """Pre-process local receive and collective descriptors."""
+        """Pre-process local receive and collective descriptors.
+
+        With ``BcsConfig.batched_matching`` the slice's descriptors are
+        processed as one batch: a single NIC hold covers the whole run
+        (the thread processor is uncontended during the BR's turn, so
+        ``n`` sequential holds and one hold of ``n × cost`` end at the
+        same instant) and the matcher consumes the receives through its
+        vectorized batch API.  The per-descriptor loop below is the
+        differential oracle.
+        """
         nrt = self.nrt
+        cost = nrt.config.nic_descriptor_cost
+        if nrt.config.batched_matching:
+            recvs = nrt._drain_posted(nrt.posted_recvs)
+            if recvs:
+                yield from nrt.nic.compute_batch(cost, len(recvs))
+                for _, match in nrt.matcher.add_recv_batch(recvs):
+                    self._register_match(match)
+            colls = nrt._drain_posted(nrt.posted_colls)
+            if colls:
+                yield from nrt.nic.compute_batch(cost, len(colls))
+                for desc in colls:
+                    ep = nrt._epoch(desc.job_id, desc.comm_id, desc.epoch)
+                    ep.absorb(desc)
+            self._advance_local_flags()
+            return
+
         for desc in nrt._drain_posted(nrt.posted_recvs):
-            yield from nrt.nic.compute(nrt.config.nic_descriptor_cost)
+            yield from nrt.nic.compute(cost)
             match = nrt.matcher.add_recv(desc)
             if match is not None:
                 self._register_match(match)
@@ -319,7 +367,7 @@ class BufferReceiver:
         # have posted an epoch, advance the node's local flag in global
         # memory (the variable the root's Compare-And-Write will test).
         for desc in nrt._drain_posted(nrt.posted_colls):
-            yield from nrt.nic.compute(nrt.config.nic_descriptor_cost)
+            yield from nrt.nic.compute(cost)
             ep = nrt._epoch(desc.job_id, desc.comm_id, desc.epoch)
             ep.absorb(desc)
         self._advance_local_flags()
@@ -345,11 +393,20 @@ class BufferReceiver:
         runtime = nrt.runtime
 
         arrived, nrt.arrived_sends = nrt.arrived_sends, []
-        for send in arrived:
-            yield from nrt.nic.compute(nrt.config.nic_descriptor_cost)
-            match = nrt.matcher.add_send(send)
-            if match is not None:
-                self._register_match(match)
+        if arrived:
+            if nrt.config.batched_matching:
+                # Batched leg: one NIC hold, one vectorized matcher join.
+                yield from nrt.nic.compute_batch(
+                    nrt.config.nic_descriptor_cost, len(arrived)
+                )
+                for _, match in nrt.matcher.add_send_batch(arrived):
+                    self._register_match(match)
+            else:
+                for send in arrived:
+                    yield from nrt.nic.compute(nrt.config.nic_descriptor_cost)
+                    match = nrt.matcher.add_send(send)
+                    if match is not None:
+                        self._register_match(match)
 
         # Collective scheduling: only the node hosting the communicator's
         # master process issues the query broadcast (paper §4.4).

@@ -284,6 +284,28 @@ def _expand_scaling1024(
     ]
 
 
+def _expand_scaling16k(
+    node_counts: Sequence[int] = (2048, 4096, 8192, 16384),
+    networks: Sequence[str] = S.SCALING_NETWORKS,
+    active_ranks: int = 32,
+    iterations: int = 30,
+    granularity_us: float = 400.0,
+    message_kib: int = 4,
+) -> List[dict]:
+    return [
+        dict(
+            network=m,
+            n_nodes=n,
+            active_ranks=active_ranks,
+            iterations=iterations,
+            granularity_us=granularity_us,
+            message_kib=message_kib,
+        )
+        for m in networks
+        for n in node_counts
+    ]
+
+
 # --- critical-path analysis family (blame composition per run) ---------------
 
 
@@ -355,7 +377,7 @@ EXTENSION_FAMILIES: Tuple[str, ...] = ("ext_ft", "ext_pfs_qos", "ext_noise")
 #: fields (slices/sec, speedup), so they are deliberately outside the
 #: deterministic figure set and never part of ``repro farm figures``
 #: defaults; run them by name (``repro farm figures scaling1024``).
-SCALING_FAMILIES: Tuple[str, ...] = ("scaling1024",)
+SCALING_FAMILIES: Tuple[str, ...] = ("scaling1024", "scaling16k")
 
 #: Analysis families: deterministic derived metrics over instrumented
 #: runs (critical-path blame composition).  Not in the default figure
@@ -470,6 +492,13 @@ FAMILIES: Dict[str, Family] = {
             _expand_scaling1024,
             S.scaling_point,
             smoke=dict(node_counts=(128,), iterations=12),
+        ),
+        Family(
+            "scaling16k",
+            "Scaling: batched slice engine, 2k-16k nodes, fat tree vs 3D torus",
+            _expand_scaling16k,
+            S.scaling16k_point,
+            smoke=dict(node_counts=(2048,), iterations=12),
         ),
         Family(
             "critpath",

@@ -19,16 +19,23 @@ out of the deterministic figure set.
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import List, Sequence
 
-from ..apps import barrier_benchmark
+from ..apps import barrier_benchmark, nearest_neighbor_benchmark
 from ..bcs import BcsConfig, BcsRuntime
 from ..network import Cluster, ClusterSpec, by_name
 from ..storm import JobSpec
-from ..units import seconds, us
+from ..units import kib, seconds, us
 
-__all__ = ["SCALING_NETWORKS", "scaling_point", "scaling_rows"]
+__all__ = [
+    "SCALING_NETWORKS",
+    "scaling16k_point",
+    "scaling16k_rows",
+    "scaling_point",
+    "scaling_rows",
+]
 
 #: Network models exercised by the study, in row order: the paper's
 #: testbed fabric and the BlueGene/L torus it anticipates.
@@ -110,6 +117,125 @@ def scaling_rows(
     """The full scaling table (network-major, node-count-minor order)."""
     return [
         scaling_point(m, n, active_ranks, iterations, granularity_us)
+        for m in networks
+        for n in node_counts
+    ]
+
+
+# -- the 16k study: batched slice engine vs the object-path oracle -------------
+
+
+def _timed_run16k(
+    network: str,
+    n_nodes: int,
+    active_ranks: int,
+    iterations: int,
+    granularity_us: float,
+    message_kib: int,
+    batched: bool,
+):
+    """One nearest-neighbour job on a fresh cluster.
+
+    Returns ``(virtual_ns, slices, wall_s)``.  Both legs keep the
+    incremental active sets on — at 16k nodes the per-slice full scan
+    would measure PR 5's fix again, not this study's batching.
+    """
+    cluster = Cluster(ClusterSpec(n_nodes=n_nodes, model=by_name(network)))
+    cfg = BcsConfig(init_cost=0, batched_matching=batched)
+    runtime = BcsRuntime(cluster, cfg)
+    spec = JobSpec(
+        app=nearest_neighbor_benchmark,
+        n_ranks=active_ranks,
+        name="scaling16k",
+        params=dict(
+            granularity=us(granularity_us),
+            iterations=iterations,
+            message_bytes=kib(message_kib),
+        ),
+    )
+    # Building a 16k-node cluster leaves the young generations full of
+    # short-lived construction garbage; collect it now so the timed
+    # region measures the slice machine, not a GC pass over the graph.
+    gc.collect()
+    t0 = time.perf_counter()
+    job = runtime.run_job(spec, max_time=seconds(3600))
+    wall_s = time.perf_counter() - t0
+    return job.runtime, runtime.stats["slices"], wall_s
+
+
+def scaling16k_point(
+    network: str = "qsnet",
+    n_nodes: int = 16384,
+    active_ranks: int = 32,
+    iterations: int = 30,
+    granularity_us: float = 400.0,
+    message_kib: int = 4,
+    reps: int = 2,
+) -> dict:
+    """One 16k-study row: batched slice engine vs the object-path oracle.
+
+    The workload is point-to-point heavy (nearest-neighbour exchange) so
+    the batched descriptor/matching engine is what's actually measured.
+    Both runs simulate the identical workload and must agree on virtual
+    time and slice count to the byte (``virtual_identical``); only the
+    host wall-clock (and hence ``speedup``) may differ.  Legs are
+    interleaved best-of-``reps``: at 16k nodes a single leg's wall-clock
+    is dominated by GC churn from the just-built cluster graph, so
+    one-shot timings swing tens of percent either way.
+    """
+    for warm in (True, False):
+        _timed_run16k(network, 8, 2, 2, granularity_us, message_kib, warm)
+    bat_wall = obj_wall = float("inf")
+    bat_ns = bat_slices = obj_ns = obj_slices = 0
+    for _ in range(max(1, reps)):
+        bat_ns, bat_slices, wall = _timed_run16k(
+            network, n_nodes, active_ranks, iterations, granularity_us,
+            message_kib, True,
+        )
+        bat_wall = min(bat_wall, wall)
+        obj_ns, obj_slices, wall = _timed_run16k(
+            network, n_nodes, active_ranks, iterations, granularity_us,
+            message_kib, False,
+        )
+        obj_wall = min(obj_wall, wall)
+    if bat_ns != obj_ns or bat_slices != obj_slices:
+        # Divergence is a correctness bug, not a data point: fail the
+        # farm point so CI stops instead of recording a broken row.
+        raise AssertionError(
+            f"scaling16k[{network},{n_nodes}]: batched engine diverged from "
+            f"the object-path oracle — {bat_ns} ns/{bat_slices} slices vs "
+            f"{obj_ns} ns/{obj_slices} slices"
+        )
+    return {
+        "network": network,
+        "n_nodes": n_nodes,
+        "active_ranks": active_ranks,
+        "iterations": iterations,
+        "message_kib": message_kib,
+        "virtual_ms": bat_ns / 1e6,
+        "slices": bat_slices,
+        "slices_per_sec": bat_slices / bat_wall if bat_wall > 0 else 0.0,
+        "object_slices_per_sec": obj_slices / obj_wall if obj_wall > 0 else 0.0,
+        "speedup": obj_wall / bat_wall if bat_wall > 0 else 0.0,
+        "virtual_identical": bat_ns == obj_ns and bat_slices == obj_slices,
+        "wall_s": bat_wall,
+        "object_wall_s": obj_wall,
+    }
+
+
+def scaling16k_rows(
+    node_counts: Sequence[int] = (2048, 4096, 8192, 16384),
+    networks: Sequence[str] = SCALING_NETWORKS,
+    active_ranks: int = 32,
+    iterations: int = 30,
+    granularity_us: float = 400.0,
+    message_kib: int = 4,
+) -> List[dict]:
+    """The 16k scaling table (network-major, node-count-minor order)."""
+    return [
+        scaling16k_point(
+            m, n, active_ranks, iterations, granularity_us, message_kib
+        )
         for m in networks
         for n in node_counts
     ]

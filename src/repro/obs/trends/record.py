@@ -243,6 +243,21 @@ def bench_samples(report: Mapping[str, object]) -> List[Sample]:
                     kind="exact",
                 )
             )
+        if "peak_rss_mib" in rec:
+            # Peak RSS varies run-to-run with allocator/interpreter
+            # noise, so it trends like a timing (median+MAD tolerance),
+            # not as an exact series.  The value is the process-wide
+            # high-water mark observed after this benchmark ran (the
+            # kernel counter is cumulative and monotone).
+            samples.append(
+                Sample(
+                    series=f"bench.rss/{name}",
+                    value=float(rec["peak_rss_mib"]),
+                    raw=float(rec["peak_rss_mib"]),
+                    unit="MiB",
+                    kind="timing",
+                )
+            )
     return samples
 
 

@@ -55,8 +55,8 @@ def test_extension_families_registered_but_not_in_figure_set():
         assert FAMILIES[name].title.startswith("Extension:")
 
 
-def test_scaling_family_registered_but_not_in_figure_set():
-    assert SCALING_FAMILIES == ("scaling1024",)
+def test_scaling_families_registered_but_not_in_figure_set():
+    assert SCALING_FAMILIES == ("scaling1024", "scaling16k")
     for name in SCALING_FAMILIES:
         assert name in FAMILIES
         assert name not in FIGURE_FAMILIES
@@ -74,6 +74,20 @@ def test_scaling1024_expansion():
     # smoke keeps only the cheap 128-node pair for CI.
     smoke = expand_family("scaling1024", "smoke")
     assert [p.params_dict["n_nodes"] for p in smoke] == [128, 128]
+
+
+def test_scaling16k_expansion():
+    specs = expand_family("scaling16k", "paper")
+    # 2 networks x 4 power-of-two node counts, network-major order.
+    assert len(specs) == 8
+    params = [s.params_dict for s in specs]
+    assert [p["n_nodes"] for p in params] == [2048, 4096, 8192, 16384] * 2
+    assert {p["network"] for p in params} == {"qsnet", "bluegene_l_torus"}
+    assert all(p["message_kib"] == 4 for p in params)
+    # smoke keeps only the cheap 2048-node pair for CI.
+    smoke = expand_family("scaling16k", "smoke")
+    assert [p.params_dict["n_nodes"] for p in smoke] == [2048, 2048]
+    assert all(p.params_dict["iterations"] == 12 for p in smoke)
 
 
 @pytest.mark.parametrize("name", sorted(EXTENSION_COUNTS))

@@ -45,6 +45,7 @@ def _bench_report():
                 "normalized": 6.0,
                 "virtual_ns": 16_000_000_000,
                 "idle_slices_skipped": 31000,
+                "peak_rss_mib": 42.5,
             },
             "barrier_micro": {
                 "kind": "micro",
@@ -121,13 +122,18 @@ def test_bench_samples_split_timing_and_exact():
     assert by_series["bench.normalized/sage_fig10"].kind == "timing"
     assert by_series["bench.virtual_ns/sage_fig10"].kind == "exact"
     assert by_series["bench.idle_slices_skipped/barrier_micro"].value == 0.0
-    assert len(samples) == 6
+    # peak RSS trends like a timing (allocator noise), never exact, and
+    # is absent when the record predates the field.
+    rss = by_series["bench.rss/sage_fig10"]
+    assert rss.kind == "timing" and rss.unit == "MiB" and rss.value == 42.5
+    assert "bench.rss/barrier_micro" not in by_series
+    assert len(samples) == 7
 
 
 def test_record_bench_report_uses_report_calibration(tmp_path):
     store = TrendStore(tmp_path / "ts")
     meta, rows = record_bench_report(store, _bench_report())
-    assert rows == 6
+    assert rows == 7
     assert meta.source == "bench"
     assert meta.quick is True
     assert meta.calibration_s == 0.25  # no fresh spin loop: report's value
