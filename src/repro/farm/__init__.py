@@ -11,6 +11,9 @@ docs/FARM.md):
   (point hash, code fingerprint);
 - :mod:`~repro.farm.service` — orchestration + aggregation back into
   the exact rows the sequential generators produce;
+- :mod:`~repro.farm.queue` — the distributed execution layer: durable
+  job queue, HTTP submission API, lease-based workers
+  (``run_farm(backend="queue")``, ``repro serve`` / ``repro worker``);
 - :mod:`~repro.farm.cli` — the ``repro farm`` subcommand family.
 """
 

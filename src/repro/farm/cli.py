@@ -6,9 +6,12 @@
     repro farm figures fig8a table2 -j 2    # a subset
     repro farm figures --preset smoke       # reduced CI configuration
     repro farm figures --no-cache           # force re-execution
+    repro farm figures --backend queue      # lease/heartbeat queue backend
     repro farm list                         # families and point counts
+    repro farm list --cached --limit 20     # page through the result store
     repro farm metrics                      # last run's farm telemetry
     repro farm clean                        # drop the result store
+    repro farm submit URL table1 --wait     # enqueue on a queue service
 
 Exit codes: 0 = all points ok, 1 = some points failed, 3 =
 ``--expect-cached`` was given but points had to execute.
@@ -55,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument(
         "-j", "--jobs", type=int, default=4, help="worker processes (default 4)"
+    )
+    figures.add_argument(
+        "--backend",
+        choices=("pool", "queue"),
+        default="pool",
+        help="execution backend: the spawn-safe worker pool (default, the "
+        "differential oracle) or the in-process lease/heartbeat queue "
+        "(docs/FARM.md, 'Distributed execution')",
     )
     figures.add_argument(
         "--preset",
@@ -118,6 +129,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("list", help="list point families and their sizes")
     lst.add_argument("--preset", choices=PRESETS, default="paper")
+    lst.add_argument(
+        "--cached",
+        action="store_true",
+        help="list the result store's cached point records instead",
+    )
+    lst.add_argument(
+        "--store", metavar="PATH", default=None, help="result store directory"
+    )
+    lst.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print at most N rows (default: all)",
+    )
+    lst.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        metavar="N",
+        help="skip the first N rows (default 0)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit families to a running queue service (HTTP)"
+    )
+    submit.add_argument("rest", nargs=argparse.REMAINDER)
 
     metrics = sub.add_parser("metrics", help="print the last farm run's telemetry")
     metrics.add_argument("--store", metavar="PATH", default=None)
@@ -192,6 +230,7 @@ def cmd_figures(args) -> int:
         retries=args.retries,
         progress=not args.no_progress,
         trend_store=trend_store,
+        backend=args.backend,
     )
     _print_report_tables(report, args.save)
     if args.metrics:
@@ -209,7 +248,27 @@ def cmd_figures(args) -> int:
     return 0 if report.ok else 1
 
 
+def _paginate(rows: list, limit: Optional[int], offset: int) -> tuple:
+    """(page, footnote) — ``--limit/--offset`` over any row list."""
+    offset = max(0, offset)
+    page = rows[offset:]
+    if limit is not None and limit >= 0:
+        page = page[:limit]
+    shown_to = offset + len(page)
+    note = ""
+    if not page and rows:
+        note = f"--offset {offset} is past the end ({len(rows)} rows)"
+    elif offset or shown_to < len(rows):
+        note = (
+            f"showing {offset + 1}-{shown_to} of {len(rows)} "
+            f"(--offset {shown_to} for the next page)"
+        )
+    return page, note
+
+
 def cmd_list(args) -> int:
+    if args.cached:
+        return _cmd_list_cached(args)
     rows = []
     for name in (
         FIGURE_FAMILIES + EXTENSION_FAMILIES + SCALING_FAMILIES + ANALYSIS_FAMILIES
@@ -218,13 +277,40 @@ def cmd_list(args) -> int:
             FAMILIES[name].smoke if args.preset == "smoke" else None
         )
         rows.append([name, len(specs), FAMILIES[name].title])
+    total = sum(r[1] for r in rows)
+    page, note = _paginate(rows, args.limit, args.offset)
     print_table(
         f"farm families ({args.preset} preset)",
         ["family", "points", "title"],
-        rows,
+        page,
     )
-    total = sum(r[1] for r in rows)
-    print(f"\n{total} points total")
+    print(f"\n{total} points total" + (f"; {note}" if note else ""))
+    return 0
+
+
+def _cmd_list_cached(args) -> int:
+    """``repro farm list --cached``: page through the result store."""
+    store = _store_from(args)
+    rows = [
+        [
+            record.get("family", "?"),
+            ",".join(
+                f"{k}={v}" for k, v in sorted((record.get("params") or {}).items())
+            )
+            or "-",
+            f"{record.get('duration_s', 0.0):.2f}",
+            (record.get("key") or "")[:12],
+        ]
+        for record in store.records()
+    ]
+    rows.sort(key=lambda r: (r[0], r[1]))
+    page, note = _paginate(rows, args.limit, args.offset)
+    print_table(
+        f"cached point records ({store.root})",
+        ["family", "params", "dur_s", "key"],
+        page,
+    )
+    print(f"\n{len(rows)} records total" + (f"; {note}" if note else ""))
     return 0
 
 
@@ -241,6 +327,13 @@ def cmd_metrics(args) -> int:
     hit_rate = last.get("cache_hit_rate")
     if isinstance(hit_rate, (int, float)):
         print(f"cache hit rate: {hit_rate:.1%}")
+    # Queue-backend telemetry: all zero when the pool backend ran.
+    print(
+        f"backend: {last.get('backend', 'pool')} "
+        f"(queue depth {last.get('queue_depth', 0)}, "
+        f"leases {last.get('lease_count', 0)}, "
+        f"workers {last.get('worker_count', 0)})"
+    )
     render = last.get("metrics_render")
     if render:
         print(render)
@@ -258,15 +351,31 @@ def cmd_clean(args) -> int:
     return 0
 
 
+def cmd_submit(args) -> int:
+    # Normally short-circuited in main(); this path serves parsers that
+    # went through the subcommand machinery (e.g. scripted build_parser).
+    from .queue.cli import submit_main
+
+    return submit_main(list(args.rest))
+
+
 _DISPATCH = {
     "figures": cmd_figures,
     "list": cmd_list,
     "metrics": cmd_metrics,
     "clean": cmd_clean,
+    "submit": cmd_submit,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "submit":
+        # Dispatched before argparse: submit owns its own option set
+        # (server URL, --wait, --expect-cached — see queue/cli.py).
+        from .queue.cli import submit_main
+
+        return submit_main(argv[1:])
     args = build_parser().parse_args(argv)
     return _DISPATCH[args.command](args)
 

@@ -1,0 +1,39 @@
+"""``repro.farm.queue``: the distributed execution layer of the farm.
+
+Turns the single-host worker pool into a queue-backed job service (see
+docs/FARM.md, "Distributed execution"):
+
+- :mod:`~repro.farm.queue.jobqueue` — durable, crash-safe file-backed
+  work-item queue (atomic-rename JSON, pending → leased → done/failed);
+- :mod:`~repro.farm.queue.controller` — job state, TTL leases, dead-
+  lease expiry, store-keyed idempotency, ``farm.queue.*`` telemetry;
+- :mod:`~repro.farm.queue.httpd` / :mod:`~repro.farm.queue.client` —
+  stdlib HTTP submission API + worker protocol and its urllib client;
+- :mod:`~repro.farm.queue.worker` — pull-based worker loop (lease,
+  execute in a spawned child, heartbeat, write back);
+- :mod:`~repro.farm.queue.backend` — the in-process queue backend
+  ``run_farm(backend="queue")`` routes through, differential against
+  the pool path;
+- :mod:`~repro.farm.queue.cli` — ``repro serve`` / ``repro worker`` /
+  ``repro farm submit``.
+"""
+
+from .backend import run_specs_through_queue
+from .client import QueueClient, QueueServiceError
+from .controller import QueueController
+from .httpd import FarmQueueServer, make_server
+from .jobqueue import FileJobQueue, LeaseError
+from .worker import QueueWorker, WorkerStats
+
+__all__ = [
+    "FarmQueueServer",
+    "FileJobQueue",
+    "LeaseError",
+    "QueueClient",
+    "QueueController",
+    "QueueServiceError",
+    "QueueWorker",
+    "WorkerStats",
+    "make_server",
+    "run_specs_through_queue",
+]

@@ -1,0 +1,173 @@
+"""In-process queue backend for :func:`repro.farm.service.run_farm`.
+
+``run_farm(backend="queue")`` pushes its cache misses through the full
+queue machinery — a durable :class:`FileJobQueue` on disk, the
+:class:`QueueController`'s lease/complete protocol, and real
+:class:`QueueWorker` loops executing points in spawned children — all
+inside one process, with worker threads standing in for worker hosts.
+
+This is the differential harness for the distributed path: the
+sequential/pool backend stays the oracle, and
+``tests/farm/queue/test_backend.py`` asserts the two backends produce
+byte-identical rows.  Everything a remote deployment exercises (lease
+handshake, heartbeats, idempotent store writes, expiry recovery) runs
+here too; only the HTTP transport is absent.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ...obs import MetricsRegistry
+from ..pool import PointOutcome
+from ..points import PointSpec
+from ..store import ResultStore
+from .controller import QueueController
+from .jobqueue import FileJobQueue
+from .worker import QueueWorker
+
+__all__ = ["run_specs_through_queue"]
+
+#: Lease TTL of the in-process workers.  Short — threads cannot die
+#: silently, so expiry only matters under injected failures — but long
+#: enough that a loaded CI box never expires a healthy lease between
+#: heartbeats (sent every ttl/3).
+LOCAL_TTL_S = 15.0
+
+
+def _outcome_from_item(
+    item: dict, spec: PointSpec, store: ResultStore
+) -> PointOutcome:
+    """Terminal item record -> the PointOutcome the pool would report."""
+    if item["state"] == "done" and item["result_key"]:
+        record = store.get(item["result_key"])
+        if record is not None:
+            return PointOutcome(
+                spec=spec,
+                status="ok",
+                row=record["row"],
+                attempts=item["attempts"],
+                duration_s=item["duration_s"],
+                cached=bool(item["cached"]),
+            )
+    return PointOutcome(
+        spec=spec,
+        status="failed",
+        attempts=item["attempts"],
+        duration_s=item["duration_s"],
+        error=item["error"] or "queue item did not produce a stored row",
+    )
+
+
+def run_specs_through_queue(
+    specs: Sequence[PointSpec],
+    store: ResultStore,
+    registry: MetricsRegistry,
+    jobs: int = 2,
+    timeout_s: float = 600.0,
+    retries: int = 1,
+    lease_ttl_s: float = LOCAL_TTL_S,
+    queue_root: Optional[Path] = None,
+    on_outcome: Optional[Callable[[PointOutcome], None]] = None,
+) -> Tuple[List[PointOutcome], dict]:
+    """Execute ``specs`` through controller + N worker loops.
+
+    Returns outcomes in input order plus the controller's final queue
+    statistics (peak depth, peak leases, workers seen) for the run
+    summary.  ``on_outcome`` fires once per item as it reaches a
+    terminal state — the service's progress/counter hook.
+    """
+    tmp = None
+    if queue_root is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-farm-queue-")
+        queue_root = Path(tmp.name)
+    try:
+        controller = QueueController(
+            FileJobQueue(queue_root),
+            store=store,
+            registry=registry,
+            max_attempts=retries + 1,
+            default_ttl_s=lease_ttl_s,
+        )
+        job = controller.submit(specs)
+        job_id = job["id"]
+
+        workers = [
+            QueueWorker(
+                controller,
+                f"local-{i}",
+                ttl_s=lease_ttl_s,
+                timeout_s=timeout_s,
+            )
+            for i in range(jobs)
+        ]
+        threads = [
+            threading.Thread(
+                target=w.run, kwargs={"drain": True}, daemon=True
+            )
+            for w in workers
+        ]
+        for thread in threads:
+            thread.start()
+
+        # Stream terminal items to the caller as they land (progress +
+        # per-family counters), in seq order so output stays stable.
+        emitted = 0
+        outcomes: List[Optional[PointOutcome]] = [None] * len(specs)
+
+        def drain_terminal() -> None:
+            nonlocal emitted
+            while emitted < len(specs):
+                item = controller.queue.item(f"{job_id}-{emitted:04d}")
+                if item is None or item["state"] not in ("done", "failed"):
+                    return
+                outcome = _outcome_from_item(item, specs[emitted], store)
+                outcomes[emitted] = outcome
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                emitted += 1
+
+        while any(thread.is_alive() for thread in threads):
+            drain_terminal()
+            time.sleep(0.05)
+        for thread in threads:
+            thread.join()
+
+        # A worker that drained while another's point was being requeued
+        # can leave work behind; one final inline drain closes the gap.
+        status = controller.job_status(job_id)
+        if not status["done"]:
+            QueueWorker(
+                controller,
+                "local-final",
+                ttl_s=lease_ttl_s,
+                timeout_s=timeout_s,
+            ).run(drain=True)
+        drain_terminal()
+        for seq, outcome in enumerate(outcomes):
+            if outcome is None:  # pragma: no cover - terminal safety net
+                item = controller.queue.item(f"{job_id}-{seq:04d}")
+                outcomes[seq] = _outcome_from_item(
+                    item or {"state": "failed", "attempts": 0,
+                             "duration_s": 0.0, "error": "item lost",
+                             "result_key": None, "cached": False},
+                    specs[seq],
+                    store,
+                )
+                if on_outcome is not None:
+                    on_outcome(outcomes[seq])
+
+        stats = controller.stats()
+        queue_stats = {
+            "queue_depth": stats["peak_depth"],
+            "lease_count": stats["peak_leased"],
+            "worker_count": len(stats["workers_seen"]),
+        }
+        return list(outcomes), queue_stats
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

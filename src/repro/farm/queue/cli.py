@@ -1,0 +1,297 @@
+"""CLI entry points of the distributed farm: serve, work, submit.
+
+::
+
+    repro serve --port 8642 --store .farm-store --queue .farm-queue
+    repro worker http://host:8642 --id w1 --drain
+    repro farm submit http://host:8642 table1 --preset smoke --wait
+
+``repro serve`` runs the queue service (controller + HTTP API) in the
+foreground until interrupted; ``repro worker`` is one pull-based worker
+loop against a running service; ``repro farm submit`` is the HTTP
+client — it enqueues families, optionally waits, and prints the same
+tables ``repro farm figures`` prints (byte-identical rows, served from
+the content-addressed store through the service).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import uuid
+from pathlib import Path
+from typing import List, Optional
+
+from ..store import ResultStore, default_store_path
+
+__all__ = ["serve_main", "submit_main", "worker_main"]
+
+#: Default queue directory, next to the default result store.
+DEFAULT_QUEUE_DIR = ".farm-queue"
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the farm queue service: HTTP submission API + "
+        "lease-based worker protocol (see docs/FARM.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (default: pick a free one)"
+    )
+    parser.add_argument(
+        "--store", metavar="PATH", default=None, help="result store directory"
+    )
+    parser.add_argument(
+        "--queue",
+        metavar="PATH",
+        default=DEFAULT_QUEUE_DIR,
+        help=f"durable job-queue directory (default {DEFAULT_QUEUE_DIR})",
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="default lease TTL in seconds (default 60)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts after a transient worker failure (default 1)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_serve_parser().parse_args(argv)
+    from .controller import QueueController
+    from .httpd import make_server
+    from .jobqueue import FileJobQueue
+
+    store = ResultStore(Path(args.store) if args.store else default_store_path())
+    controller = QueueController(
+        FileJobQueue(Path(args.queue)),
+        store=store,
+        max_attempts=args.retries + 1,
+        default_ttl_s=args.ttl,
+    )
+    server = make_server(
+        controller, host=args.host, port=args.port, verbose=args.verbose
+    )
+    stats = controller.stats()
+    print(
+        f"[serve] farm queue service on {server.url} "
+        f"(store {store.root}, queue {args.queue}, "
+        f"{stats['pending']} pending / {stats['done']} done on disk)",
+        flush=True,
+    )
+    # SIGTERM (CI teardown, orchestrators) shuts down as cleanly as ^C.
+    signal.signal(signal.SIGTERM, lambda *a: sys.exit(0))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        print("[serve] stopped", flush=True)
+    return 0
+
+
+def _build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="One pull-based farm worker: lease points from a queue "
+        "service, execute them in spawned children, write rows back.",
+    )
+    parser.add_argument("server", metavar="URL", help="queue service base URL")
+    parser.add_argument(
+        "--id",
+        dest="worker_id",
+        default=None,
+        help="worker id (default: a generated unique id)",
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="lease TTL in seconds; heartbeats go out every ttl/3 (default 60)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="per-point wall-clock timeout in seconds (default 600)",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="idle poll interval in seconds (default 1)",
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit when the queue is empty instead of polling forever",
+    )
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after leasing N points",
+    )
+    return parser
+
+
+def worker_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_worker_parser().parse_args(argv)
+    from .client import QueueClient, QueueServiceError
+    from .worker import QueueWorker
+
+    worker_id = args.worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+    client = QueueClient(args.server)
+    try:
+        client.health()
+    except QueueServiceError as exc:
+        print(f"repro worker: {exc}", file=sys.stderr)
+        return 2
+    worker = QueueWorker(
+        client,
+        worker_id,
+        ttl_s=args.ttl,
+        timeout_s=args.timeout,
+        poll_s=args.poll,
+    )
+    print(f"[worker {worker_id}] pulling from {args.server}", flush=True)
+    try:
+        stats = worker.run(drain=args.drain, max_points=args.max_points)
+    except KeyboardInterrupt:
+        stats = worker.stats
+    except QueueServiceError as exc:
+        print(f"repro worker: service lost: {exc}", file=sys.stderr)
+        print(worker.stats.summary_line(), flush=True)
+        return 2
+    print(stats.summary_line(), flush=True)
+    return 0 if stats.failed == 0 else 1
+
+
+def _build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro farm submit",
+        description="Submit point families to a running farm queue service.",
+    )
+    parser.add_argument("server", metavar="URL", help="queue service base URL")
+    parser.add_argument(
+        "families", nargs="+", metavar="FAMILY", help="families to enqueue"
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("paper", "smoke"),
+        default="paper",
+        help="point-set preset (default paper)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="enqueue every point even if its result is already stored",
+    )
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and print its tables",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="status poll interval with --wait (default 0.5)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=3600.0,
+        metavar="S",
+        help="give up waiting after this many seconds (default 3600)",
+    )
+    parser.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help="fail (exit 3) if any point was not already cached — the "
+        "CI replay check",
+    )
+    return parser
+
+
+def submit_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_submit_parser().parse_args(argv)
+    from ..points import FAMILIES
+    from ...harness.report import print_table
+    from .client import QueueClient, QueueServiceError
+
+    unknown = [f for f in args.families if f not in FAMILIES]
+    if unknown:
+        print(f"unknown family(ies): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    client = QueueClient(args.server)
+    try:
+        job = client.submit(
+            families=args.families,
+            preset=args.preset,
+            use_cache=not args.no_cache,
+        )
+    except QueueServiceError as exc:
+        print(f"repro farm submit: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"[submit] job {job['id']}: {job['items']} point(s), "
+        f"{job['cached']} already cached, {job['pending']} queued",
+        flush=True,
+    )
+    if args.expect_cached and job["pending"] > 0:
+        print(
+            f"[submit] expected a fully cached job but {job['pending']} "
+            f"point(s) queued",
+            file=sys.stderr,
+        )
+        return 3
+    if not args.wait:
+        print(f"[submit] poll with: GET {args.server}/jobs/{job['id']}")
+        return 0
+    try:
+        status = client.wait_job(
+            job["id"], poll_s=args.poll, timeout_s=args.timeout
+        )
+        rows_payload = client.job_rows(job["id"])
+    except QueueServiceError as exc:
+        print(f"repro farm submit: {exc}", file=sys.stderr)
+        return 2
+    by_family: dict = {}
+    for entry in rows_payload["rows"]:
+        if entry["row"] is not None:
+            by_family.setdefault(entry["family"], []).append(entry["row"])
+    for family in args.families:
+        rows = by_family.get(family, [])
+        title = FAMILIES[family].title
+        if not rows:
+            print(f"\n== {title} == (no rows)")
+            continue
+        headers = list(rows[0].keys())
+        print_table(title, headers, [[row[h] for h in headers] for row in rows])
+    counts = status["counts"]
+    print(
+        f"\n[submit] job {job['id']} done: {counts['done']} ok, "
+        f"{counts['failed']} failed"
+    )
+    return 0 if status["ok"] else 1

@@ -1,0 +1,195 @@
+"""Stdlib HTTP client for the farm queue service.
+
+:class:`QueueClient` mirrors the :class:`~repro.farm.queue.controller.
+QueueController` surface over :mod:`urllib.request`, so a
+:class:`~repro.farm.queue.worker.QueueWorker` can be handed either one
+interchangeably.  Protocol mapping:
+
+- ``204`` from ``/lease`` → ``None`` (queue empty);
+- ``409`` → :class:`~repro.farm.queue.jobqueue.LeaseError` (stale
+  worker: drop the work);
+- ``304`` from ``/results/<key>`` with ``If-None-Match`` → ``None``
+  (the caller's cached copy is current);
+- any other non-2xx → :class:`QueueServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from .jobqueue import LeaseError
+
+__all__ = ["QueueClient", "QueueServiceError"]
+
+
+class QueueServiceError(Exception):
+    """The service answered with an unexpected status (or not at all)."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class QueueClient:
+    """JSON-over-HTTP twin of the controller protocol."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
+    ):
+        """(status, payload_dict_or_None); raises on transport failure."""
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method
+        )
+        req.add_header("Accept", "application/json")
+        if data is not None:
+            req.add_header("Content-Type", "application/json")
+        for name, value in (headers or {}).items():
+            req.add_header(name, value)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                raw = resp.read()
+                return resp.status, json.loads(raw) if raw else None
+        except urllib.error.HTTPError as exc:
+            if exc.code == 304:  # urllib raises on 3xx it does not follow
+                return 304, None
+            raw = exc.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except ValueError:
+                payload = {}
+            message = payload.get("error") or f"HTTP {exc.code}"
+            if exc.code == 409:
+                raise LeaseError(message) from None
+            raise QueueServiceError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise QueueServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        families: Optional[list] = None,
+        points: Optional[list] = None,
+        preset: str = "paper",
+        overrides: Optional[dict] = None,
+        use_cache: bool = True,
+    ) -> dict:
+        """``POST /jobs`` — returns the job record (id, cached, pending)."""
+        _, payload = self._request(
+            "POST",
+            "/jobs",
+            {
+                "families": families or [],
+                "points": points or [],
+                "preset": preset,
+                "overrides": overrides or {},
+                "use_cache": use_cache,
+            },
+        )
+        return payload["job"]
+
+    def job_status(self, job_id: str) -> dict:
+        _, payload = self._request("GET", f"/jobs/{job_id}")
+        return payload
+
+    def job_rows(self, job_id: str) -> dict:
+        _, payload = self._request("GET", f"/jobs/{job_id}/rows")
+        return payload
+
+    def jobs(self) -> list:
+        _, payload = self._request("GET", "/jobs")
+        return payload["jobs"]
+
+    def wait_job(
+        self, job_id: str, poll_s: float = 0.5, timeout_s: float = 3600.0
+    ) -> dict:
+        """Poll until the job's items are all done/failed; returns status."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.job_status(job_id)
+            if status["done"]:
+                return status
+            if time.monotonic() >= deadline:
+                raise QueueServiceError(
+                    f"job {job_id} not done after {timeout_s:.0f}s "
+                    f"(counts: {status['counts']})"
+                )
+            time.sleep(poll_s)
+
+    # -- the worker protocol -------------------------------------------------
+
+    def lease(self, worker: str, ttl_s: Optional[float] = None) -> Optional[dict]:
+        status, payload = self._request(
+            "POST", "/lease", {"worker": worker, "ttl_s": ttl_s}
+        )
+        return None if status == 204 else payload
+
+    def heartbeat(
+        self, item_id: str, worker: str, ttl_s: Optional[float] = None
+    ) -> dict:
+        _, payload = self._request(
+            "POST",
+            f"/items/{item_id}/heartbeat",
+            {"worker": worker, "ttl_s": ttl_s},
+        )
+        return payload
+
+    def complete(
+        self, item_id: str, worker: str, row: dict, duration_s: float = 0.0
+    ) -> dict:
+        _, payload = self._request(
+            "POST",
+            f"/items/{item_id}/complete",
+            {"worker": worker, "row": row, "duration_s": duration_s},
+        )
+        return payload
+
+    def fail(
+        self, item_id: str, worker: str, error: str, retryable: bool = True
+    ) -> dict:
+        _, payload = self._request(
+            "POST",
+            f"/items/{item_id}/fail",
+            {"worker": worker, "error": error, "retryable": retryable},
+        )
+        return payload
+
+    # -- results & health ----------------------------------------------------
+
+    def result(self, key: str, etag: Optional[str] = None) -> Optional[dict]:
+        """``GET /results/<key>``; ``etag`` revalidates (None on 304)."""
+        headers = {"If-None-Match": f'"{etag}"'} if etag else None
+        try:
+            status, payload = self._request(
+                "GET", f"/results/{key}", headers=headers
+            )
+        except QueueServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        return None if status == 304 else payload
+
+    def metrics(self) -> dict:
+        _, payload = self._request("GET", "/metrics")
+        return payload
+
+    def health(self) -> dict:
+        _, payload = self._request("GET", "/healthz")
+        return payload

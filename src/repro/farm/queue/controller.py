@@ -1,0 +1,339 @@
+"""The queue controller: job state, leases, idempotency, telemetry.
+
+One :class:`QueueController` owns a :class:`~repro.farm.queue.jobqueue.
+FileJobQueue` and the :class:`~repro.farm.store.ResultStore` results are
+written into.  It is the single authority every execution path talks
+to — the HTTP service wraps it one-to-one, the in-process queue backend
+of :func:`~repro.farm.service.run_farm` calls it directly, and workers
+never see the queue files at all.
+
+Idempotency is anchored on the existing point hashes: an item's result
+key is ``result_key(code_fingerprint, point_hash)`` — exactly the key
+``run_farm`` caches under — so
+
+- **submission** short-circuits points the store already holds (born
+  ``done``, never leased);
+- **leasing** re-checks the store, so a duplicate item whose twin
+  finished after submission becomes a cache hit instead of a
+  recomputation;
+- **completion** of re-leased work (a worker died, its lease expired, a
+  second worker finished the point) writes the same key — one store
+  record, byte-identical row, no matter how many workers raced.
+
+Telemetry goes through the shared :class:`repro.obs.MetricsRegistry`
+(``farm.queue.*`` series — depth, leases, expiries, completions), the
+same registry ``repro farm metrics`` renders.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ...obs import MetricsRegistry
+from ..fingerprint import code_fingerprint, result_key
+from ..points import PointSpec
+from ..store import ResultStore
+from .jobqueue import FileJobQueue, LeaseError
+
+__all__ = ["QueueController", "LeaseError"]
+
+#: Default lease TTL — long enough for heartbeats every ttl/3 to be
+#: leisurely, short enough that a dead worker's point is recovered fast.
+DEFAULT_TTL_S = 60.0
+
+
+class QueueController:
+    """Tracks job state, expires dead leases, enforces idempotency."""
+
+    def __init__(
+        self,
+        queue: FileJobQueue,
+        store: Optional[ResultStore] = None,
+        registry: Optional[MetricsRegistry] = None,
+        max_attempts: int = 2,
+        default_ttl_s: float = DEFAULT_TTL_S,
+        fingerprint: Optional[str] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.queue = queue
+        self.store = store if store is not None else ResultStore()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_attempts = max_attempts
+        self.default_ttl_s = default_ttl_s
+        self.fingerprint = fingerprint or code_fingerprint()
+        self._lock = threading.RLock()
+        #: peak statistics for the run summary (queue_depth / lease_count /
+        #: worker_count in last-run.json).
+        self.peak_depth = 0
+        self.peak_leased = 0
+        self.workers_seen: set = set()
+        self._update_gauges()
+
+    # -- gauges --------------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        counts = self.queue.counts()
+        leased = counts["leased"]
+        self.peak_depth = max(self.peak_depth, counts["pending"])
+        self.peak_leased = max(self.peak_leased, leased)
+        self.registry.gauge("farm.queue.depth").set(counts["pending"])
+        self.registry.gauge("farm.queue.leased").set(leased)
+        self.registry.gauge("farm.queue.workers").set(
+            len(self.queue.active_workers())
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def item_key(self, family: str, params: dict) -> str:
+        """The store key this controller files a point's row under."""
+        spec = PointSpec(family, 0, tuple(sorted(params.items())))
+        return result_key(self.fingerprint, spec.point_hash())
+
+    def submit(self, specs: Sequence[PointSpec], use_cache: bool = True) -> dict:
+        """Enqueue one job from point specs; cached points are born done.
+
+        Returns the job record extended with ``cached`` (points satisfied
+        by the store at submission time) and ``pending`` counts.
+        """
+        with self._lock:
+            items = []
+            cached = 0
+            for spec in specs:
+                key = result_key(self.fingerprint, spec.point_hash())
+                hit = self.store.get(key) if use_cache else None
+                if hit is not None:
+                    cached += 1
+                    self.registry.counter(
+                        "farm.queue.cached", family=spec.family
+                    ).inc()
+                items.append(
+                    {
+                        "family": spec.family,
+                        "params": spec.params_dict,
+                        "index": spec.index,
+                        "result_key": key if hit is not None else None,
+                        "cached": hit is not None,
+                    }
+                )
+                self.registry.counter(
+                    "farm.queue.submitted", family=spec.family
+                ).inc()
+            job = self.queue.enqueue_job(
+                items, meta={"families": sorted({s.family for s in specs})}
+            )
+            self._update_gauges()
+            return dict(job, cached=cached, pending=len(specs) - cached)
+
+    # -- the worker protocol -------------------------------------------------
+
+    def lease(self, worker: str, ttl_s: Optional[float] = None) -> Optional[dict]:
+        """Expire dead leases, then hand ``worker`` the next runnable item.
+
+        Items whose result key already resolves in the store (a twin
+        point finished meanwhile) are completed on the spot — the worker
+        never sees them; that is the "duplicate work is a cache hit"
+        guarantee.
+        """
+        ttl = ttl_s if ttl_s is not None else self.default_ttl_s
+        if ttl <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl}")
+        with self._lock:
+            self.expire_leases()
+            self.workers_seen.add(worker)
+            while True:
+                record = self.queue.lease(worker, ttl)
+                if record is None:
+                    self._update_gauges()
+                    return None
+                key = self.item_key(record["family"], record["params"])
+                if self.store.get(key) is not None:
+                    # already computed elsewhere: cache hit, not a recompute
+                    self.queue.complete(
+                        record["id"], worker, key, cached=True
+                    )
+                    self.registry.counter(
+                        "farm.queue.cached", family=record["family"]
+                    ).inc()
+                    continue
+                self.registry.counter(
+                    "farm.queue.leases", family=record["family"]
+                ).inc()
+                self._update_gauges()
+                return dict(record, result_key=key)
+
+    def heartbeat(
+        self, item_id: str, worker: str, ttl_s: Optional[float] = None
+    ) -> dict:
+        """Extend a live lease; raises :class:`LeaseError` if it was lost."""
+        ttl = ttl_s if ttl_s is not None else self.default_ttl_s
+        record = self.queue.heartbeat(item_id, worker, ttl)
+        self.registry.counter("farm.queue.heartbeats").inc()
+        return record
+
+    def complete(
+        self, item_id: str, worker: str, row: dict, duration_s: float = 0.0
+    ) -> dict:
+        """File a finished point's row in the store and close the item.
+
+        Writing is idempotent on the result key: if the key is already
+        present (the lease expired and a twin completion won the race)
+        the existing record is kept untouched — exactly one store record
+        ever exists per point.
+        """
+        with self._lock:
+            record = self.queue.item(item_id)
+            if record is None:
+                raise LeaseError(f"unknown item {item_id!r}")
+            lease = record["lease"] or {}
+            if record["state"] != "leased" or lease.get("worker") != worker:
+                # Reject the stale holder *before* touching the store — a
+                # presumed-dead worker must not file rows.
+                raise LeaseError(
+                    f"item {item_id!r} is not leased by {worker!r}"
+                )
+            key = self.item_key(record["family"], record["params"])
+            duplicate = self.store.get(key) is not None
+            if not duplicate:
+                self.store.put(
+                    key,
+                    {
+                        "family": record["family"],
+                        "params": record["params"],
+                        "point_hash": PointSpec(
+                            record["family"],
+                            0,
+                            tuple(sorted(record["params"].items())),
+                        ).point_hash(),
+                        "fingerprint": self.fingerprint,
+                        "row": row,
+                        "duration_s": duration_s,
+                        "attempts": record["attempts"],
+                    },
+                )
+            else:
+                self.registry.counter(
+                    "farm.queue.duplicates", family=record["family"]
+                ).inc()
+            record = self.queue.complete(
+                item_id, worker, key, duration_s=duration_s
+            )
+            self.registry.counter(
+                "farm.queue.completed", family=record["family"]
+            ).inc()
+            self.registry.histogram(
+                "farm.point.duration_ms", family=record["family"]
+            ).observe(duration_s * 1000.0)
+            self._update_gauges()
+            return record
+
+    def fail(
+        self, item_id: str, worker: str, error: str, retryable: bool = True
+    ) -> dict:
+        """Record a failed attempt; transient failures requeue while
+        attempts remain, deterministic ones fail the item immediately."""
+        with self._lock:
+            record = self.queue.item(item_id)
+            if record is None:
+                raise LeaseError(f"unknown item {item_id!r}")
+            requeue = retryable and record["attempts"] < self.max_attempts
+            record = self.queue.fail(item_id, worker, error, requeue=requeue)
+            kind = "retried" if requeue else "failed"
+            self.registry.counter(
+                f"farm.queue.{kind}", family=record["family"]
+            ).inc()
+            self._update_gauges()
+            return record
+
+    def expire_leases(self) -> List[dict]:
+        """Requeue items whose worker went silent past its TTL.
+
+        Items that exhausted their attempt budget while leased fail
+        instead of requeueing — a worker that dies on a point every time
+        must not keep the job alive forever.
+        """
+        with self._lock:
+            expired = self.queue.expire_leases()
+            for record in expired:
+                self.registry.counter(
+                    "farm.queue.leases_expired", family=record["family"]
+                ).inc()
+                if record["attempts"] >= self.max_attempts:
+                    self.queue.fail_pending(
+                        record["id"], record["error"] or "lease expired"
+                    )
+                    self.registry.counter(
+                        "farm.queue.failed", family=record["family"]
+                    ).inc()
+            if expired:
+                self._update_gauges()
+            return expired
+
+    # -- introspection -------------------------------------------------------
+
+    def job_status(self, job_id: str) -> Optional[dict]:
+        """Job record + per-state counts + per-item summaries, or None."""
+        job = self.queue.job(job_id)
+        if job is None:
+            return None
+        self.expire_leases()
+        items = self.queue.items(job_id)
+        counts = {state: 0 for state in ("pending", "leased", "done", "failed")}
+        for record in items:
+            counts[record["state"]] += 1
+        done = counts["done"] + counts["failed"] == len(items)
+        return dict(
+            job,
+            counts=counts,
+            done=done,
+            ok=done and counts["failed"] == 0,
+            item_states=[
+                {
+                    "id": r["id"],
+                    "family": r["family"],
+                    "index": r["index"],
+                    "state": r["state"],
+                    "attempts": r["attempts"],
+                    "cached": r["cached"],
+                    "result_key": r["result_key"],
+                    "error": r["error"],
+                }
+                for r in items
+            ],
+        )
+
+    def job_rows(self, job_id: str) -> List[Optional[dict]]:
+        """The job's rows in submission order (None for unfinished/failed).
+
+        Rows are read back from the result store — the single source of
+        truth — so a re-leased, twice-computed point still yields exactly
+        the bytes its one store record holds.
+        """
+        rows: List[Optional[dict]] = []
+        for record in self.queue.items(job_id):
+            if record["state"] == "done" and record["result_key"]:
+                hit = self.store.get(record["result_key"])
+                rows.append(hit["row"] if hit else None)
+            else:
+                rows.append(None)
+        return rows
+
+    def stats(self) -> dict:
+        """Live queue statistics (also mirrored into the gauges)."""
+        with self._lock:
+            self.expire_leases()
+            counts = self.queue.counts()
+            workers = self.queue.active_workers()
+            self._update_gauges()
+            return {
+                "pending": counts["pending"],
+                "leased": counts["leased"],
+                "done": counts["done"],
+                "failed": counts["failed"],
+                "jobs": len(self.queue.jobs()),
+                "workers": workers,
+                "peak_depth": self.peak_depth,
+                "peak_leased": self.peak_leased,
+                "workers_seen": sorted(self.workers_seen),
+            }

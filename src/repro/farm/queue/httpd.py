@@ -1,0 +1,330 @@
+"""HTTP submission API + worker protocol over the queue controller.
+
+A thin, stdlib-only (:mod:`http.server`) JSON facade — every route maps
+one-to-one onto a :class:`~repro.farm.queue.controller.QueueController`
+method, so the HTTP layer adds transport, never semantics:
+
+===========================================  =================================
+``POST /jobs``                               submit families and/or raw points
+``GET  /jobs``                               all jobs with state counts
+``GET  /jobs/<id>``                          one job's status + item states
+``GET  /jobs/<id>/rows``                     finished rows, submission order
+``POST /lease``                              worker: lease the next item
+``POST /items/<id>/heartbeat``               worker: extend a lease
+``POST /items/<id>/complete``                worker: report a finished row
+``POST /items/<id>/fail``                    worker: report a failed attempt
+``GET  /results/<key>``                      store record, ETag on the key
+``GET  /metrics``                            farm.queue.* registry snapshot
+``GET  /healthz``                            liveness + queue statistics
+===========================================  =================================
+
+``GET /results/<key>`` serves the content-addressed store directly: the
+key *is* the content identity, so the ``ETag`` is the key itself and a
+matching ``If-None-Match`` short-circuits to ``304 Not Modified`` with
+no body — cached results are immutable, revalidation is free.
+
+Error mapping: a :class:`LeaseError` (stale worker) is ``409 Conflict``,
+unknown ids are ``404``, malformed bodies are ``400``.  Workers treat
+409 as "drop the work"; everything else is an operational error.
+
+The server is a ``ThreadingHTTPServer`` — the controller's lock is the
+serialization point, exactly as for in-process callers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Tuple
+
+from ..points import PointSpec, expand_family
+from .controller import LeaseError, QueueController
+
+__all__ = ["FarmQueueServer", "make_server"]
+
+#: Cap on request bodies (a family submission is a few KiB; a row is
+#: smaller).  Anything larger is a client bug, not a bigger experiment.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _ApiError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _specs_from_body(body: dict) -> List[PointSpec]:
+    """Point specs from a ``POST /jobs`` body (families and/or points)."""
+    specs: List[PointSpec] = []
+    preset = body.get("preset", "paper")
+    overrides = body.get("overrides") or {}
+    families = body.get("families") or []
+    if not isinstance(families, list):
+        raise _ApiError(400, "'families' must be a list of family names")
+    for name in families:
+        try:
+            specs.extend(expand_family(name, preset, overrides.get(name)))
+        except (KeyError, ValueError) as exc:
+            raise _ApiError(400, str(exc)) from None
+    for i, point in enumerate(body.get("points") or []):
+        if not isinstance(point, dict) or "family" not in point:
+            raise _ApiError(400, f"point #{i} needs a 'family' field")
+        try:
+            specs.append(
+                PointSpec(
+                    point["family"],
+                    int(point.get("index", i)),
+                    tuple(sorted(dict(point.get("params") or {}).items())),
+                )
+            )
+        except TypeError as exc:
+            raise _ApiError(400, f"point #{i}: {exc}") from None
+    if not specs:
+        raise _ApiError(400, "submission expands to zero points")
+    return specs
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; all state lives on ``self.server.controller``."""
+
+    server_version = "repro-farm-queue/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(
+        self,
+        payload: dict,
+        status: int = 200,
+        headers: Optional[List[Tuple[str, str]]] = None,
+    ) -> None:
+        body = json.dumps(payload, indent=1).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers or []:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_empty(self, status: int) -> None:
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _ApiError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            raise _ApiError(400, "request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise _ApiError(400, "request body must be a JSON object")
+        return body
+
+    # -- dispatch ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        controller: QueueController = self.server.controller
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            handler = self._route(method, path)
+            if handler is None:
+                raise _ApiError(404, f"no route for {method} {path}")
+            handler(controller)
+        except _ApiError as exc:
+            self._send_json({"error": exc.message}, status=exc.status)
+        except LeaseError as exc:
+            self._send_json({"error": str(exc)}, status=409)
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_json({"error": f"{type(exc).__name__}: {exc}"}, status=500)
+
+    def _route(self, method: str, path: str):
+        if method == "GET":
+            if path == "/healthz":
+                return self._get_healthz
+            if path == "/metrics":
+                return self._get_metrics
+            if path == "/jobs":
+                return self._get_jobs
+            m = re.fullmatch(r"/jobs/([\w-]+)", path)
+            if m:
+                return lambda c: self._get_job(c, m.group(1))
+            m = re.fullmatch(r"/jobs/([\w-]+)/rows", path)
+            if m:
+                return lambda c: self._get_job_rows(c, m.group(1))
+            m = re.fullmatch(r"/results/([0-9a-f]{8,64})", path)
+            if m:
+                return lambda c: self._get_result(c, m.group(1))
+        elif method == "POST":
+            if path == "/jobs":
+                return self._post_jobs
+            if path == "/lease":
+                return self._post_lease
+            m = re.fullmatch(r"/items/([\w-]+)/(heartbeat|complete|fail)", path)
+            if m:
+                return lambda c: self._post_item(c, m.group(1), m.group(2))
+        return None
+
+    # -- routes --------------------------------------------------------------
+
+    def _get_healthz(self, controller) -> None:
+        self._send_json({"ok": True, "stats": controller.stats()})
+
+    def _get_metrics(self, controller) -> None:
+        self._send_json(
+            {
+                "snapshot": controller.registry.snapshot(),
+                "render": controller.registry.render(),
+            }
+        )
+
+    def _get_jobs(self, controller) -> None:
+        jobs = []
+        for job in controller.queue.jobs():
+            status = controller.job_status(job["id"])
+            status.pop("item_states", None)
+            jobs.append(status)
+        self._send_json({"jobs": jobs})
+
+    def _get_job(self, controller, job_id: str) -> None:
+        status = controller.job_status(job_id)
+        if status is None:
+            raise _ApiError(404, f"unknown job {job_id!r}")
+        self._send_json(status)
+
+    def _get_job_rows(self, controller, job_id: str) -> None:
+        status = controller.job_status(job_id)
+        if status is None:
+            raise _ApiError(404, f"unknown job {job_id!r}")
+        rows = controller.job_rows(job_id)
+        self._send_json(
+            {
+                "id": job_id,
+                "done": status["done"],
+                "rows": [
+                    {
+                        "family": item["family"],
+                        "index": item["index"],
+                        "state": item["state"],
+                        "row": row,
+                    }
+                    for item, row in zip(status["item_states"], rows)
+                ],
+            }
+        )
+
+    def _get_result(self, controller, key: str) -> None:
+        record = controller.store.get(key)
+        if record is None:
+            raise _ApiError(404, f"no result under key {key}")
+        # The key is the content identity: ETag == key, immutable.
+        etag = f'"{key}"'
+        if_none_match = self.headers.get("If-None-Match", "")
+        if etag in [v.strip() for v in if_none_match.split(",")]:
+            self.send_response(304)
+            self.send_header("ETag", etag)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        self._send_json(
+            record,
+            headers=[("ETag", etag), ("Cache-Control", "max-age=31536000")],
+        )
+
+    def _post_jobs(self, controller) -> None:
+        body = self._read_body()
+        specs = _specs_from_body(body)
+        job = controller.submit(specs, use_cache=body.get("use_cache", True))
+        self._send_json({"job": job}, status=201)
+
+    def _post_lease(self, controller) -> None:
+        body = self._read_body()
+        worker = body.get("worker")
+        if not worker or not isinstance(worker, str):
+            raise _ApiError(400, "'worker' (string id) is required")
+        ttl = body.get("ttl_s")
+        item = controller.lease(worker, float(ttl) if ttl is not None else None)
+        if item is None:
+            self._send_empty(204)
+        else:
+            self._send_json(item)
+
+    def _post_item(self, controller, item_id: str, action: str) -> None:
+        body = self._read_body()
+        worker = body.get("worker")
+        if not worker or not isinstance(worker, str):
+            raise _ApiError(400, "'worker' (string id) is required")
+        if action == "heartbeat":
+            ttl = body.get("ttl_s")
+            record = controller.heartbeat(
+                item_id, worker, float(ttl) if ttl is not None else None
+            )
+        elif action == "complete":
+            row = body.get("row")
+            if not isinstance(row, dict):
+                raise _ApiError(400, "'row' (object) is required")
+            record = controller.complete(
+                item_id, worker, row, float(body.get("duration_s") or 0.0)
+            )
+        else:  # fail
+            record = controller.fail(
+                item_id,
+                worker,
+                str(body.get("error") or "worker reported failure"),
+                retryable=bool(body.get("retryable", True)),
+            )
+        self._send_json(record)
+
+
+class FarmQueueServer(ThreadingHTTPServer):
+    """The queue service: a threading HTTP server bound to a controller."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        controller: QueueController,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        super().__init__((host, port), _Handler)
+        self.controller = controller
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def make_server(
+    controller: QueueController,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> FarmQueueServer:
+    """Bind (``port=0`` picks a free port) — call ``serve_forever()``."""
+    return FarmQueueServer(controller, host=host, port=port, verbose=verbose)

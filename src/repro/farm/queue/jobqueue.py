@@ -1,0 +1,359 @@
+"""Durable, crash-safe file-backed job queue for farm points.
+
+Layout (everything JSON, everything atomic-rename written, exactly like
+:class:`~repro.farm.store.ResultStore` — no SQLite, no JSONL appends)::
+
+    <root>/jobs/<job_id>.json     one immutable record per submitted job
+    <root>/items/<item_id>.json   one mutable record per work item
+
+A *work item* is one ``(spec, row)`` unit: the point spec it carries in,
+plus — once a worker completes it — the result key its row was stored
+under.  Items move through ``pending → leased → done | failed``; every
+transition rewrites the item file atomically, so a controller that
+crashes mid-run restarts from disk with nothing lost: pending items are
+still pending, leased items keep their lease (and expire normally if
+the worker died with the controller), finished items stay finished.
+
+The queue is a **single-controller** structure: one process owns the
+directory and serializes mutations behind an in-process lock.  Workers
+never touch these files — they talk to the controller (directly, or
+through the HTTP API in :mod:`~repro.farm.queue.httpd`), which is what
+makes the lease handshake atomic across any number of worker hosts.
+
+Time enters only through the injectable ``clock`` (defaults to
+:func:`time.time`); tests drive lease expiry with a fake clock instead
+of sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["ITEM_STATES", "FileJobQueue", "LeaseError"]
+
+#: Legal ``state`` values of a work item, in lifecycle order.
+ITEM_STATES = ("pending", "leased", "done", "failed")
+
+
+class LeaseError(Exception):
+    """A worker acted on an item it does not (or no longer does) hold.
+
+    Raised on heartbeat/complete/fail when the item is unknown, not
+    leased, or leased by a different worker — the caller lost the race
+    (its lease expired and someone else picked the item up) and must
+    drop the work on the floor; the store-level idempotency makes that
+    safe.
+    """
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` to ``path`` via temp-file + rename (never torn)."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class FileJobQueue:
+    """Work items on disk; every mutation is an atomic file rewrite."""
+
+    def __init__(self, root: Path, clock: Callable[[], float] = time.time):
+        self.root = Path(root)
+        self.clock = clock
+        self._lock = threading.RLock()
+        #: item id -> record (the in-memory mirror of ``items/*.json``).
+        self._items: Dict[str, dict] = {}
+        #: job id -> record.
+        self._jobs: Dict[str, dict] = {}
+        #: FIFO of pending item ids (submission order).
+        self._pending: deque = deque()
+        (self.root / "jobs").mkdir(parents=True, exist_ok=True)
+        (self.root / "items").mkdir(parents=True, exist_ok=True)
+        self._reload()
+
+    # -- durability ----------------------------------------------------------
+
+    def _reload(self) -> None:
+        """Rebuild the in-memory index from disk (controller restart)."""
+        for path in sorted((self.root / "jobs").glob("*.json")):
+            record = self._read(path)
+            if record and "id" in record:
+                self._jobs[record["id"]] = record
+        items = []
+        for path in sorted((self.root / "items").glob("*.json")):
+            record = self._read(path)
+            if record and record.get("state") in ITEM_STATES:
+                items.append(record)
+        # Submission order: jobs in creation order, items by seq within.
+        items.sort(
+            key=lambda r: (
+                self._jobs.get(r["job"], {}).get("created_at", 0.0),
+                r["job"],
+                r["seq"],
+            )
+        )
+        for record in items:
+            self._items[record["id"]] = record
+            if record["state"] == "pending":
+                self._pending.append(record["id"])
+
+    @staticmethod
+    def _read(path: Path) -> Optional[dict]:
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None  # a corrupt record is dropped, never fatal
+        return record if isinstance(record, dict) else None
+
+    def _persist_item(self, record: dict) -> None:
+        _atomic_write_json(self.root / "items" / f"{record['id']}.json", record)
+
+    def _persist_job(self, record: dict) -> None:
+        _atomic_write_json(self.root / "jobs" / f"{record['id']}.json", record)
+
+    # -- submission ----------------------------------------------------------
+
+    def enqueue_job(self, items: List[dict], meta: Optional[dict] = None) -> dict:
+        """Create one job from item payloads; returns the job record.
+
+        Each payload needs ``family``, ``params``, ``index``; an optional
+        ``result_key`` + ``cached=True`` marks an item already satisfied
+        by the result store (it is born ``done`` and never leased).
+        """
+        with self._lock:
+            job_id = uuid.uuid4().hex[:12]
+            now = self.clock()
+            job = {
+                "id": job_id,
+                "created_at": now,
+                "items": len(items),
+                "meta": dict(meta or {}),
+            }
+            self._persist_job(job)
+            self._jobs[job_id] = job
+            for seq, payload in enumerate(items):
+                cached = bool(payload.get("cached"))
+                record = {
+                    "id": f"{job_id}-{seq:04d}",
+                    "job": job_id,
+                    "seq": seq,
+                    "family": payload["family"],
+                    "params": dict(payload["params"]),
+                    "index": payload.get("index", seq),
+                    "state": "done" if cached else "pending",
+                    "attempts": 0,
+                    "lease": None,
+                    "result_key": payload.get("result_key"),
+                    "cached": cached,
+                    "error": None,
+                    "duration_s": 0.0,
+                }
+                self._persist_item(record)
+                self._items[record["id"]] = record
+                if record["state"] == "pending":
+                    self._pending.append(record["id"])
+            return dict(job)
+
+    # -- the worker protocol -------------------------------------------------
+
+    def lease(self, worker: str, ttl_s: float) -> Optional[dict]:
+        """Hand the oldest pending item to ``worker`` for ``ttl_s`` seconds."""
+        with self._lock:
+            while self._pending:
+                item_id = self._pending.popleft()
+                record = self._items.get(item_id)
+                if record is None or record["state"] != "pending":
+                    continue  # resolved elsewhere (e.g. cache short-circuit)
+                now = self.clock()
+                prior = record["lease"] or {}
+                record["state"] = "leased"
+                record["attempts"] += 1
+                record["lease"] = {
+                    "worker": worker,
+                    "leased_at": now,
+                    "expires_at": now + ttl_s,
+                    "count": int(prior.get("count", 0)) + 1,
+                }
+                self._persist_item(record)
+                return dict(record)
+            return None
+
+    def _held(self, item_id: str, worker: str) -> dict:
+        record = self._items.get(item_id)
+        if record is None:
+            raise LeaseError(f"unknown item {item_id!r}")
+        if record["state"] != "leased" or not record["lease"]:
+            raise LeaseError(f"item {item_id!r} is {record['state']}, not leased")
+        if record["lease"]["worker"] != worker:
+            raise LeaseError(
+                f"item {item_id!r} is leased by {record['lease']['worker']!r}, "
+                f"not {worker!r}"
+            )
+        return record
+
+    def heartbeat(self, item_id: str, worker: str, ttl_s: float) -> dict:
+        """Extend ``worker``'s lease on ``item_id`` by ``ttl_s`` from now."""
+        with self._lock:
+            record = self._held(item_id, worker)
+            record["lease"]["expires_at"] = self.clock() + ttl_s
+            self._persist_item(record)
+            return dict(record)
+
+    def complete(
+        self,
+        item_id: str,
+        worker: str,
+        result_key: str,
+        duration_s: float = 0.0,
+        cached: bool = False,
+    ) -> dict:
+        """Mark a leased item done; its row lives in the store under
+        ``result_key``."""
+        with self._lock:
+            record = self._held(item_id, worker)
+            record["state"] = "done"
+            record["lease"] = None
+            record["result_key"] = result_key
+            record["cached"] = cached
+            record["error"] = None
+            record["duration_s"] = duration_s
+            self._persist_item(record)
+            return dict(record)
+
+    def fail(
+        self, item_id: str, worker: str, error: str, requeue: bool = False
+    ) -> dict:
+        """Mark a leased item failed, or push it back to pending."""
+        with self._lock:
+            record = self._held(item_id, worker)
+            record["lease"] = None
+            record["error"] = error
+            if requeue:
+                record["state"] = "pending"
+                self._pending.append(record["id"])
+            else:
+                record["state"] = "failed"
+            self._persist_item(record)
+            return dict(record)
+
+    def fail_pending(self, item_id: str, error: str) -> dict:
+        """Terminally fail a *pending* item (attempt budget exhausted).
+
+        Used by the controller's lease reaper: an item whose lease
+        expired with no attempts left must not wait for a worker it will
+        never get.  The id stays in the pending deque; :meth:`lease`
+        skips non-pending entries.
+        """
+        with self._lock:
+            record = self._items[item_id]
+            if record["state"] != "pending":
+                raise LeaseError(
+                    f"item {item_id!r} is {record['state']}, not pending"
+                )
+            record["state"] = "failed"
+            record["lease"] = None
+            record["error"] = error
+            self._persist_item(record)
+            return dict(record)
+
+    def expire_leases(self) -> List[dict]:
+        """Requeue every leased item whose lease deadline has passed."""
+        with self._lock:
+            now = self.clock()
+            expired = []
+            for record in self._items.values():
+                lease = record["lease"]
+                if record["state"] != "leased" or lease is None:
+                    continue
+                if lease["expires_at"] <= now:
+                    record["state"] = "pending"
+                    record["error"] = (
+                        f"lease by {lease['worker']!r} expired after "
+                        f"{lease['expires_at'] - lease['leased_at']:.1f}s"
+                    )
+                    record["lease"] = dict(lease, expired=True)
+                    self._persist_item(record)
+                    # workers re-lease in submission order, expiries last
+                    self._pending.append(record["id"])
+                    expired.append(dict(record))
+                    record["lease"] = None
+            return expired
+
+    # -- introspection -------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[dict]:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            return dict(record) if record else None
+
+    def jobs(self) -> List[dict]:
+        with self._lock:
+            return [
+                dict(r)
+                for r in sorted(
+                    self._jobs.values(), key=lambda r: (r["created_at"], r["id"])
+                )
+            ]
+
+    def item(self, item_id: str) -> Optional[dict]:
+        with self._lock:
+            record = self._items.get(item_id)
+            return dict(record) if record else None
+
+    def items(self, job_id: Optional[str] = None) -> List[dict]:
+        """Item records (one job's, or all), in submission order."""
+        with self._lock:
+            records = [
+                dict(r)
+                for r in self._items.values()
+                if job_id is None or r["job"] == job_id
+            ]
+        records.sort(key=lambda r: (r["job"], r["seq"]))
+        return records
+
+    def counts(self, job_id: Optional[str] = None) -> Dict[str, int]:
+        """``{state: n}`` over one job's (or all) items; every state present."""
+        with self._lock:
+            out = {state: 0 for state in ITEM_STATES}
+            for record in self._items.values():
+                if job_id is None or record["job"] == job_id:
+                    out[record["state"]] += 1
+            return out
+
+    def active_workers(self) -> List[str]:
+        """Distinct worker ids currently holding an unexpired lease."""
+        with self._lock:
+            now = self.clock()
+            return sorted(
+                {
+                    r["lease"]["worker"]
+                    for r in self._items.values()
+                    if r["state"] == "leased"
+                    and r["lease"] is not None
+                    and r["lease"]["expires_at"] > now
+                }
+            )
+
+    def __repr__(self) -> str:
+        c = self.counts()
+        return (
+            f"<FileJobQueue {self.root} jobs={len(self._jobs)} "
+            f"pending={c['pending']} leased={c['leased']} "
+            f"done={c['done']} failed={c['failed']}>"
+        )

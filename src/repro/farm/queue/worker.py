@@ -1,0 +1,165 @@
+"""Pull-based queue worker: lease → execute → heartbeat → write back.
+
+A :class:`QueueWorker` runs on any host.  It only ever *pulls*: it asks
+the controller for a lease, executes the point through the same
+:func:`~repro.farm.points.execute_point` entry the pool children use
+(in a freshly spawned child interpreter — crash containment is
+identical to the pool), keeps the lease alive with heartbeats from the
+parent while the child computes, and reports the row back.  The
+controller files the row into the content-addressed store; the worker
+never touches store or queue files.
+
+The worker speaks to anything exposing the controller protocol —
+a :class:`~repro.farm.queue.controller.QueueController` directly
+(the in-process backend) or a :class:`~repro.farm.queue.client.
+QueueClient` over HTTP (``repro worker``).  Failure classification
+mirrors the pool exactly:
+
+- **timeout / crash** → transient: ``fail(retryable=True)`` — the
+  controller requeues while attempts remain;
+- **Python exception** in the point → deterministic: never retried;
+- **lost lease** (heartbeat rejected — this worker was presumed dead
+  and the item re-leased): the child is killed and the result dropped;
+  whoever holds the lease now owns the point, and the store-key
+  idempotency makes the race harmless.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..pool import run_point_in_child
+from .jobqueue import LeaseError
+
+__all__ = ["QueueWorker", "WorkerStats"]
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did over its lifetime."""
+
+    worker: str
+    completed: int = 0
+    failed: int = 0
+    lost_leases: int = 0
+    idle_polls: int = 0
+    errors: list = field(default_factory=list)
+
+    def summary_line(self) -> str:
+        return (
+            f"[worker {self.worker}] {self.completed} completed, "
+            f"{self.failed} failed, {self.lost_leases} lost lease(s)"
+        )
+
+
+class QueueWorker:
+    """Lease/execute/complete loop over a controller or HTTP client."""
+
+    def __init__(
+        self,
+        client,
+        worker_id: str,
+        ttl_s: float = 60.0,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.5,
+        executor: Optional[Callable] = None,
+    ):
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
+        self.client = client
+        self.worker_id = worker_id
+        self.ttl_s = ttl_s
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        #: (family, params, timeout_s, heartbeat) -> (status, payload,
+        #: duration_s); overridable in tests to fake deaths/results.
+        self.executor = executor or self._execute_in_child
+        self.stats = WorkerStats(worker=worker_id)
+
+    def _execute_in_child(self, family, params, timeout_s, heartbeat):
+        # Heartbeat at ttl/3: three missed beats before the lease dies.
+        return run_point_in_child(
+            family,
+            params,
+            timeout_s,
+            heartbeat=heartbeat,
+            heartbeat_interval_s=max(0.05, self.ttl_s / 3.0),
+        )
+
+    # -- the loop ------------------------------------------------------------
+
+    def run_one(self) -> Optional[bool]:
+        """Lease and process one item.
+
+        Returns True (completed), False (failed/lost), or None (queue
+        was empty).
+        """
+        item = self.client.lease(self.worker_id, self.ttl_s)
+        if item is None:
+            self.stats.idle_polls += 1
+            return None
+        item_id = item["id"]
+
+        def beat() -> None:
+            self.client.heartbeat(item_id, self.worker_id, self.ttl_s)
+
+        try:
+            status, payload, duration_s = self.executor(
+                item["family"], item["params"], self.timeout_s, beat
+            )
+        except LeaseError:
+            # The controller re-leased this item to someone else; the
+            # child was killed before this propagated.  Drop and move on.
+            self.stats.lost_leases += 1
+            return False
+
+        try:
+            if status == "ok":
+                self.client.complete(
+                    item_id, self.worker_id, payload, duration_s
+                )
+                self.stats.completed += 1
+                return True
+            self.client.fail(
+                item_id,
+                self.worker_id,
+                payload,
+                retryable=status in ("timeout", "crash"),
+            )
+            self.stats.failed += 1
+            self.stats.errors.append(f"{item['family']}: {payload}")
+            return False
+        except LeaseError:
+            # Lost the race at the report step — same story as above.
+            self.stats.lost_leases += 1
+            return False
+
+    def run(
+        self,
+        drain: bool = False,
+        max_points: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> WorkerStats:
+        """Process items until stopped.
+
+        ``drain=True`` exits on the first empty poll (the in-process
+        backend and ``repro worker --drain``); otherwise the worker naps
+        ``poll_s`` and polls again, forever.  ``max_points`` bounds the
+        number of leased items; ``stop()`` is checked between items.
+        """
+        processed = 0
+        while True:
+            if stop is not None and stop():
+                break
+            if max_points is not None and processed >= max_points:
+                break
+            outcome = self.run_one()
+            if outcome is None:
+                if drain:
+                    break
+                time.sleep(self.poll_s)
+                continue
+            processed += 1
+        return self.stats

@@ -71,6 +71,20 @@ class ResultStore:
             return 0
         return sum(1 for _ in objects.glob("*/*.json"))
 
+    def records(self):
+        """Iterate every readable cached record (corrupt ones skipped).
+
+        Order is by key (the shard layout's natural order) — callers
+        wanting a human ordering sort on record fields themselves.
+        """
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.json")):
+            record = self.get(path.stem)
+            if record is not None:
+                yield record
+
     def clear(self) -> int:
         """Delete every cached point record; returns how many were removed."""
         objects = self.root / "objects"

@@ -35,6 +35,17 @@ Farm subcommands (see docs/FARM.md)::
 fault-isolated worker pool with content-addressed result caching; the
 rows are byte-identical to the sequential commands above.
 
+Distributed farm (see docs/FARM.md, "Distributed execution")::
+
+    python -m repro.harness.cli serve --port 8642
+    python -m repro.harness.cli worker http://host:8642 --drain
+    python -m repro.harness.cli farm submit http://host:8642 table1 --wait
+
+``serve`` runs the queue-backed job service (HTTP submission API +
+lease-based worker protocol); ``worker`` pulls and executes points from
+any host; ``farm submit`` enqueues families over HTTP and replays the
+same byte-identical tables.
+
 Trend subcommands (see docs/TRENDS.md)::
 
     python -m repro.harness.cli trend record --farm-store .farm-store
@@ -312,6 +323,20 @@ def cmd_trend(argv: List[str]) -> int:
     return trend_main(list(argv))
 
 
+def cmd_serve(argv: List[str]) -> int:
+    """``repro serve --port N ...`` — the farm queue service (docs/FARM.md)."""
+    from ..farm.queue.cli import serve_main
+
+    return serve_main(list(argv))
+
+
+def cmd_worker(argv: List[str]) -> int:
+    """``repro worker URL ...`` — one pull-based farm worker (docs/FARM.md)."""
+    from ..farm.queue.cli import worker_main
+
+    return worker_main(list(argv))
+
+
 #: Subcommands with their own argument structure (dispatched before the
 #: experiment parser so ``repro table1 fig8a`` keeps working unchanged).
 OBS_COMMANDS = {
@@ -320,6 +345,8 @@ OBS_COMMANDS = {
     "explain": cmd_explain,
     "farm": cmd_farm,
     "trend": cmd_trend,
+    "serve": cmd_serve,
+    "worker": cmd_worker,
 }
 
 

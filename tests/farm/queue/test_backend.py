@@ -1,0 +1,109 @@
+"""run_farm(backend="queue"): the differential check against the pool oracle.
+
+These spawn real child interpreters (the same executor ``repro worker``
+uses), so the whole suite carries the ``farm_subprocess`` marker.
+"""
+
+import json
+
+import pytest
+
+from repro.farm.points import expand_family
+from repro.farm.service import run_farm
+from repro.farm.store import ResultStore
+
+pytestmark = pytest.mark.farm_subprocess
+
+
+def _run(tmp_path, name, **kw):
+    store = ResultStore(tmp_path / name)
+    report = run_farm(
+        families=["selftest"], store=store, jobs=2, progress=False, **kw
+    )
+    return store, report
+
+
+def test_queue_backend_rows_are_byte_identical_to_the_pool(tmp_path):
+    _, pool = _run(tmp_path, "pool-store", backend="pool")
+    qstore, queued = _run(tmp_path, "queue-store", backend="queue")
+
+    assert pool.ok and queued.ok
+    pool_rows = [f.rows for f in pool.families]
+    queue_rows = [f.rows for f in queued.families]
+    assert json.dumps(pool_rows) == json.dumps(queue_rows)  # byte identity
+
+    # the queue run's summary carries the queue telemetry...
+    assert queued.backend == "queue"
+    assert queued.queue_depth == queued.n_points > 0
+    assert 1 <= queued.lease_count <= 2
+    assert queued.worker_count >= 1
+    summary = qstore.load_last_run()
+    assert summary["backend"] == "queue"
+    assert summary["queue_depth"] == queued.queue_depth
+    assert summary["lease_count"] == queued.lease_count
+    assert summary["worker_count"] == queued.worker_count
+    # ...and the pool run reports zeros (satellite: fields always present)
+    assert pool.backend == "pool"
+    assert (pool.queue_depth, pool.lease_count, pool.worker_count) == (0, 0, 0)
+
+
+def test_queue_backend_second_run_is_fully_cached(tmp_path):
+    store, first = _run(tmp_path, "store", backend="queue")
+    assert first.n_executed == first.n_points
+    _, second = _run(tmp_path, "store", backend="queue")
+    assert second.n_cached == second.n_points
+    assert second.n_executed == 0
+    assert second.queue_depth == 0  # nothing was ever enqueued
+    assert [f.rows for f in second.families] == [f.rows for f in first.families]
+    assert store.count() == first.n_points
+
+
+def test_queue_backend_failure_semantics_match_the_pool(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    report = run_farm(
+        families=[],
+        extra_specs=expand_family(
+            "selftest", "paper", {"modes": ("ok", "hang", "ok")}
+        ),
+        store=store,
+        jobs=2,
+        timeout_s=1.0,
+        retries=1,
+        progress=False,
+        backend="queue",
+    )
+    assert not report.ok
+    assert report.n_failed == 1
+    assert report.n_retried == 1
+    (family,) = report.families
+    assert [r["value"] for r in family.rows] == [0, 2]
+    (failure,) = report.failures()
+    assert failure.attempts == 2
+    assert "timed out" in failure.error
+    assert store.count() == 2  # failures are never cached
+    reg = report.registry
+    assert reg.counter("farm.points.failed", family="selftest").value == 1
+    assert reg.counter("farm.points.retried", family="selftest").value == 1
+    assert reg.counter("farm.points.completed", family="selftest").value == 2
+    # queue-side counters agree with the farm.points.* view
+    assert reg.counter("farm.queue.completed", family="selftest").value == 2
+    assert reg.counter("farm.queue.failed", family="selftest").value == 1
+
+
+def test_deterministic_point_errors_are_not_retried_by_the_queue(tmp_path):
+    report = run_farm(
+        families=[],
+        extra_specs=expand_family(
+            "selftest", "paper", {"modes": ("error", "ok")}
+        ),
+        store=ResultStore(tmp_path / "store"),
+        jobs=2,
+        retries=2,
+        progress=False,
+        backend="queue",
+    )
+    assert report.n_failed == 1
+    assert report.n_retried == 0
+    (failure,) = report.failures()
+    assert failure.attempts == 1
+    assert "injected point failure" in failure.error

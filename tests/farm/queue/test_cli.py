@@ -1,0 +1,202 @@
+"""CLI surfaces of the distributed farm: pagination, submit, serve/worker."""
+
+import json
+import threading
+
+import pytest
+
+from repro.farm.cli import main as farm_main
+from repro.farm.points import execute_point
+from repro.farm.queue.cli import submit_main, worker_main
+from repro.farm.queue.controller import QueueController
+from repro.farm.queue.httpd import make_server
+from repro.farm.queue.jobqueue import FileJobQueue
+from repro.farm.store import ResultStore
+from repro.harness.cli import OBS_COMMANDS
+from repro.harness.cli import main as repro_main
+from repro.obs import MetricsRegistry
+
+
+# --- farm list pagination (satellite f) --------------------------------------
+
+
+def test_farm_list_paginates(capsys):
+    assert farm_main(["list", "--limit", "3", "--offset", "2"]) == 0
+    out = capsys.readouterr().out
+    rows = [ln for ln in out.splitlines() if ln.startswith("fig")]
+    assert len(rows) == 3
+    assert "showing 3-5 of" in out
+    assert "--offset 5 for the next page" in out
+
+
+def test_farm_list_offset_past_the_end(capsys):
+    assert farm_main(["list", "--offset", "9999"]) == 0
+    out = capsys.readouterr().out
+    assert "is past the end" in out  # empty page renders sanely
+    assert "points total" in out
+
+
+def test_farm_list_unpaginated_has_no_footnote(capsys):
+    assert farm_main(["list"]) == 0
+    assert "showing" not in capsys.readouterr().out
+
+
+def test_farm_list_cached_pages_through_the_store(tmp_path, capsys):
+    store = ResultStore(tmp_path / "store")
+    for i in range(5):
+        store.put(
+            f"{i:02d}" + "00" * 31,
+            {
+                "family": "selftest",
+                "params": {"value": i},
+                "row": {"value": i},
+                "duration_s": 0.5,
+            },
+        )
+    argv = ["list", "--cached", "--store", str(tmp_path / "store"),
+            "--limit", "2", "--offset", "1"]
+    assert farm_main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cached point records" in out
+    assert out.count("value=") == 2
+    assert "showing 2-3 of 5" in out
+
+
+# --- serve/worker/submit wiring ----------------------------------------------
+
+
+def test_serve_and_worker_are_top_level_repro_commands():
+    assert "serve" in OBS_COMMANDS and "worker" in OBS_COMMANDS
+
+
+def test_repro_help_mentions_the_distributed_farm(capsys):
+    with pytest.raises(SystemExit):
+        repro_main(["--help"])
+    # the module docstring documents the distributed-farm entry points
+    from repro.harness import cli as harness_cli
+
+    assert "serve --port" in harness_cli.__doc__
+    assert "worker http://" in harness_cli.__doc__
+
+
+def test_submit_rejects_unknown_family_before_any_network(capsys):
+    rc = farm_main(["submit", "http://127.0.0.1:1", "no-such-family"])
+    assert rc == 2
+    assert "unknown family" in capsys.readouterr().err
+
+
+def test_worker_fails_fast_when_the_service_is_unreachable(capsys):
+    rc = worker_main(["http://127.0.0.1:1", "--id", "w1"])
+    assert rc == 2
+    assert "cannot reach" in capsys.readouterr().err
+
+
+@pytest.fixture
+def service(tmp_path):
+    controller = QueueController(
+        FileJobQueue(tmp_path / "q"),
+        store=ResultStore(tmp_path / "store"),
+        registry=MetricsRegistry(),
+        default_ttl_s=10.0,
+    )
+    server = make_server(controller)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _drain_inline(server):
+    """Complete every pending item in-process (no child spawning)."""
+    controller = server.controller
+    while (item := controller.lease("inline", 10.0)) is not None:
+        row = execute_point(item["family"], item["params"])
+        controller.complete(item["id"], "inline", row, 0.01)
+
+
+def test_submit_wait_prints_tables_and_replays_cached(service, capsys):
+    url = service.url
+    argv = ["submit", url, "selftest", "--wait", "--poll", "0.05"]
+
+    # drain once the job exists: poll in a helper thread
+    def drain_when_ready():
+        import time
+
+        for _ in range(200):
+            if service.controller.queue.jobs():
+                _drain_inline(service)
+                return
+            time.sleep(0.02)
+
+    done = threading.Thread(target=drain_when_ready)
+    done.start()
+    try:
+        rc = farm_main(argv)
+    finally:
+        done.join(timeout=10)
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "queued" in out and "done:" in out
+    assert "farm self-test points" in out or "selftest" in out
+
+    # replay: everything cached, --expect-cached passes
+    rc = farm_main(["submit", url, "selftest", "--wait", "--expect-cached"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "already cached" in out
+
+
+def test_submit_expect_cached_fails_on_a_cold_store(service, capsys):
+    rc = farm_main(["submit", service.url, "selftest", "--expect-cached"])
+    assert rc == 3
+    assert "expected a fully cached job" in capsys.readouterr().err
+
+
+def test_submit_without_wait_returns_after_enqueue(service, capsys):
+    rc = farm_main(["submit", service.url, "selftest"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "poll with: GET" in out
+    (job,) = service.controller.queue.jobs()
+    assert job["items"] > 0
+
+
+# --- figures --backend queue -------------------------------------------------
+
+
+@pytest.mark.farm_subprocess
+def test_farm_figures_backend_queue_end_to_end(tmp_path, capsys):
+    argv = [
+        "figures", "selftest", "-j", "2", "--backend", "queue",
+        "--store", str(tmp_path / "store"), "--no-progress",
+    ]
+    assert farm_main(argv) == 0
+    out = capsys.readouterr().out
+    assert "queue backend" in out
+
+    # pool replay over the same store: byte-identical rows = full cache hit
+    argv = [
+        "figures", "selftest", "-j", "2", "--backend", "pool",
+        "--store", str(tmp_path / "store"), "--no-progress",
+        "--expect-cached",
+    ]
+    assert farm_main(argv) == 0
+    assert "0 executed" in capsys.readouterr().out
+
+
+def test_last_run_summary_carries_queue_fields(tmp_path, capsys):
+    store = ResultStore(tmp_path / "store")
+    store.save_last_run(
+        {
+            "points": 4, "cached": 0, "executed": 4, "failed": 0,
+            "cache_hit_rate": 0.0, "backend": "queue",
+            "queue_depth": 4, "lease_count": 2, "worker_count": 2,
+        }
+    )
+    assert farm_main(["metrics", "--store", str(tmp_path / "store")]) == 0
+    out = capsys.readouterr().out
+    assert "backend: queue (queue depth 4, leases 2, workers 2)" in out

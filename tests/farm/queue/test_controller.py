@@ -1,0 +1,210 @@
+"""QueueController: cache pass, idempotent writes, expiry recovery.
+
+Everything here runs in-process with a fake clock — points are executed
+inline via :func:`execute_point` where a row is needed, so the suite
+covers the whole lease/complete/expire state machine without spawning a
+single child or sleeping a single second.
+"""
+
+import json
+
+import pytest
+
+from repro.farm.points import execute_point, expand_family
+from repro.farm.queue.controller import QueueController
+from repro.farm.queue.jobqueue import FileJobQueue, LeaseError
+from repro.farm.store import ResultStore
+from repro.obs import MetricsRegistry
+
+from .test_jobqueue import FakeClock
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def ctrl(tmp_path, clock):
+    return QueueController(
+        FileJobQueue(tmp_path / "q", clock=clock),
+        store=ResultStore(tmp_path / "store"),
+        registry=MetricsRegistry(),
+        max_attempts=2,
+        default_ttl_s=10.0,
+    )
+
+
+def _specs(n=3):
+    return expand_family("selftest", "paper", {"modes": ("ok",) * n})
+
+
+def _finish(ctrl, item):
+    """Execute the leased item inline and report it complete."""
+    row = execute_point(item["family"], item["params"])
+    return ctrl.complete(item["id"], item["lease"]["worker"], row), row
+
+
+def test_submit_lease_complete_files_rows_in_the_store(ctrl):
+    job = ctrl.submit(_specs(2))
+    assert job["cached"] == 0 and job["pending"] == 2
+    for _ in range(2):
+        item = ctrl.lease("w1")
+        record, row = _finish(ctrl, item)
+        assert record["state"] == "done"
+        assert ctrl.store.get(record["result_key"])["row"] == row
+    status = ctrl.job_status(job["id"])
+    assert status["done"] and status["ok"]
+    assert status["counts"]["done"] == 2
+    rows = ctrl.job_rows(job["id"])
+    assert [r["value"] for r in rows] == [0, 1]
+    assert ctrl.registry.counter(
+        "farm.queue.completed", family="selftest"
+    ).value == 2
+
+
+def test_submission_cache_pass_marks_stored_points_done(ctrl):
+    specs = _specs(3)
+    key = ctrl.item_key(specs[1].family, specs[1].params_dict)
+    ctrl.store.put(key, {"row": {"value": 1}, "family": "selftest"})
+    job = ctrl.submit(specs)
+    assert job["cached"] == 1 and job["pending"] == 2
+    leased = []
+    while (item := ctrl.lease("w1")) is not None:
+        leased.append(item["seq"])
+        _finish(ctrl, item)
+    assert leased == [0, 2]  # the cached point never reached a worker
+    assert ctrl.job_status(job["id"])["ok"]
+
+
+def test_lease_recheck_turns_duplicates_into_cache_hits(ctrl):
+    # Two jobs carrying the same point: the second job's twin is pending
+    # when the first completes, so its lease is short-circuited.
+    ctrl.submit(_specs(1))
+    job2 = ctrl.submit(_specs(1), use_cache=False)
+    item = ctrl.lease("w1")
+    _finish(ctrl, item)
+    assert ctrl.lease("w1") is None  # twin resolved, not handed out
+    status = ctrl.job_status(job2["id"])
+    assert status["ok"]
+    assert status["item_states"][0]["cached"]
+    assert ctrl.store.count() == 1
+    assert ctrl.registry.counter(
+        "farm.queue.cached", family="selftest"
+    ).value == 1
+
+
+def test_complete_is_idempotent_on_the_store_key(ctrl):
+    # A twin completion (re-leased work finishing twice) must not produce
+    # a second record or overwrite the first one's bytes.
+    ctrl.submit(_specs(1))
+    item = ctrl.lease("w1")
+    _, row = _finish(ctrl, item)
+    key = ctrl.item_key(item["family"], item["params"])
+    before = json.dumps(ctrl.store.get(key))
+
+    ctrl.submit(_specs(1), use_cache=False)
+    twin = ctrl.queue.lease("w2", 10.0)  # bypass the lease re-check
+    ctrl.complete(twin["id"], "w2", dict(row), duration_s=99.0)
+    assert ctrl.store.count() == 1
+    assert json.dumps(ctrl.store.get(key)) == before  # untouched bytes
+    assert ctrl.registry.counter(
+        "farm.queue.duplicates", family="selftest"
+    ).value == 1
+
+
+def test_dead_worker_lease_expires_and_a_second_worker_recovers(ctrl, clock):
+    """The ISSUE acceptance scenario, fake-clock edition: w1 dies mid-point,
+    w2 re-leases after expiry, the row is byte-identical with exactly one
+    store record."""
+    ctrl.submit(_specs(1))
+    item = ctrl.lease("w1")
+    assert item["attempts"] == 1
+
+    clock.advance(10.1)  # w1 goes silent past its TTL
+    again = ctrl.lease("w2")
+    assert again["id"] == item["id"]
+    assert again["attempts"] == 2
+    assert ctrl.registry.counter(
+        "farm.queue.leases_expired", family="selftest"
+    ).value == 1
+
+    # the presumed-dead worker is locked out of every verb
+    with pytest.raises(LeaseError):
+        ctrl.heartbeat(item["id"], "w1")
+    record, row = _finish(ctrl, again)
+    assert record["state"] == "done"
+    assert ctrl.store.count() == 1
+    stored = ctrl.store.get(record["result_key"])["row"]
+    assert json.dumps(stored) == json.dumps(
+        execute_point("selftest", item["params"])
+    )
+
+
+def test_transient_failures_requeue_until_attempts_run_out(ctrl):
+    ctrl.submit(_specs(1))
+    item = ctrl.lease("w1")
+    back = ctrl.fail(item["id"], "w1", "timeout", retryable=True)
+    assert back["state"] == "pending"  # attempt 1 of 2: requeued
+    item = ctrl.lease("w1")
+    assert item["attempts"] == 2
+    dead = ctrl.fail(item["id"], "w1", "timeout", retryable=True)
+    assert dead["state"] == "failed"  # budget exhausted
+    assert ctrl.registry.counter(
+        "farm.queue.retried", family="selftest"
+    ).value == 1
+    assert ctrl.registry.counter(
+        "farm.queue.failed", family="selftest"
+    ).value == 1
+
+
+def test_deterministic_failures_are_never_retried(ctrl):
+    ctrl.submit(_specs(1))
+    item = ctrl.lease("w1")
+    dead = ctrl.fail(item["id"], "w1", "RuntimeError: injected", retryable=False)
+    assert dead["state"] == "failed"
+    assert dead["attempts"] == 1
+
+
+def test_expiry_with_exhausted_attempts_fails_the_item(ctrl, clock):
+    ctrl.submit(_specs(1))
+    ctrl.lease("w1")
+    clock.advance(10.1)
+    item = ctrl.lease("w2")  # attempt 2 (the budget)
+    clock.advance(10.1)  # w2 dies too
+    ctrl.expire_leases()
+    record = ctrl.queue.item(item["id"])
+    assert record["state"] == "failed"
+    assert "expired" in record["error"]
+    assert ctrl.job_status(record["job"])["done"]
+
+
+def test_stats_gauges_and_peaks(ctrl, clock):
+    reg = ctrl.registry
+    ctrl.submit(_specs(3))
+    assert reg.gauge("farm.queue.depth").value == 3
+    item = ctrl.lease("w1")
+    ctrl.lease("w2")
+    assert reg.gauge("farm.queue.depth").value == 1
+    assert reg.gauge("farm.queue.leased").value == 2
+    assert reg.gauge("farm.queue.workers").value == 2
+    _finish(ctrl, item)
+    stats = ctrl.stats()
+    assert stats["pending"] == 1 and stats["leased"] == 1
+    assert stats["done"] == 1 and stats["jobs"] == 1
+    assert stats["workers"] == ["w2"]
+    assert stats["peak_depth"] == 3
+    assert stats["peak_leased"] == 2
+    assert stats["workers_seen"] == ["w1", "w2"]
+
+
+def test_max_attempts_validation(tmp_path, clock):
+    with pytest.raises(ValueError):
+        QueueController(
+            FileJobQueue(tmp_path / "q", clock=clock), max_attempts=0
+        )
+
+
+def test_lease_ttl_validation(ctrl):
+    with pytest.raises(ValueError):
+        ctrl.lease("w1", ttl_s=0.0)

@@ -1,0 +1,197 @@
+"""The HTTP facade: routes, error mapping, ETag caching, end-to-end workers.
+
+One threaded server per test on an ephemeral port; points execute
+inline through an injected executor, so these tests exercise transport
+and protocol, not child processes.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.farm.points import execute_point
+from repro.farm.queue.client import QueueClient, QueueServiceError
+from repro.farm.queue.controller import QueueController
+from repro.farm.queue.httpd import make_server
+from repro.farm.queue.jobqueue import FileJobQueue, LeaseError
+from repro.farm.queue.worker import QueueWorker
+from repro.farm.store import ResultStore
+from repro.obs import MetricsRegistry
+
+from .test_jobqueue import FakeClock
+
+SELFTEST = {"families": ["selftest"], "overrides": {"selftest": {"modes": ["ok", "ok"]}}}
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def service(tmp_path, clock):
+    controller = QueueController(
+        FileJobQueue(tmp_path / "q", clock=clock),
+        store=ResultStore(tmp_path / "store"),
+        registry=MetricsRegistry(),
+        max_attempts=2,
+        default_ttl_s=10.0,
+    )
+    server = make_server(controller)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, QueueClient(server.url)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _inline(family, params, timeout_s, heartbeat):
+    heartbeat()
+    return "ok", execute_point(family, params), 0.01
+
+
+def test_health_and_empty_lease(service):
+    _, client = service
+    health = client.health()
+    assert health["ok"] and health["stats"]["pending"] == 0
+    assert client.lease("w1", 10.0) is None  # 204 -> None
+
+
+def test_submit_work_and_read_rows_over_http(service):
+    server, client = service
+    job = client.submit(**SELFTEST)
+    assert job["pending"] == 2 and job["cached"] == 0
+
+    stats = QueueWorker(client, "w1", ttl_s=10.0, executor=_inline).run(
+        drain=True
+    )
+    assert stats.completed == 2
+
+    status = client.job_status(job["id"])
+    assert status["done"] and status["ok"]
+    rows = client.job_rows(job["id"])
+    assert rows["done"]
+    assert [e["row"]["doubled"] for e in rows["rows"]] == [0, 2]
+    # rows came from the store: byte-identical to direct execution
+    direct = execute_point("selftest", {"mode": "ok", "value": 1})
+    assert json.dumps(rows["rows"][1]["row"]) == json.dumps(direct)
+    # the job index lists it as done too
+    (listed,) = client.jobs()
+    assert listed["id"] == job["id"] and listed["done"]
+
+
+def test_resubmission_is_a_full_cache_hit(service):
+    _, client = service
+    job = client.submit(**SELFTEST)
+    QueueWorker(client, "w1", ttl_s=10.0, executor=_inline).run(drain=True)
+    again = client.submit(**SELFTEST)
+    assert again["cached"] == 2 and again["pending"] == 0
+    assert client.job_status(again["id"])["done"]
+    assert job["id"] != again["id"]
+
+
+def test_result_endpoint_serves_the_store_with_etag_revalidation(service):
+    server, client = service
+    client.submit(**SELFTEST)
+    QueueWorker(client, "w1", ttl_s=10.0, executor=_inline).run(drain=True)
+    key = server.controller.item_key("selftest", {"mode": "ok", "value": 0})
+
+    record = client.result(key)
+    assert record["row"]["value"] == 0 and record["key"] == key
+    assert client.result(key, etag=key) is None  # 304: cached copy is current
+    assert client.result("f" * 64) is None  # 404 -> None
+
+    # raw headers: ETag is the key, immutable cache policy
+    req = urllib.request.Request(f"{server.url}/results/{key}")
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        assert resp.headers["ETag"] == f'"{key}"'
+        assert "max-age" in resp.headers["Cache-Control"]
+
+
+def test_stale_worker_gets_409_mapped_to_lease_error(service, clock):
+    server, client = service
+    client.submit(
+        families=["selftest"], overrides={"selftest": {"modes": ["ok"]}}
+    )
+    item = client.lease("w1", 10.0)
+    clock.advance(10.1)
+    rescued = client.lease("w2", 10.0)  # expiry runs server-side
+    assert rescued["id"] == item["id"] and rescued["attempts"] == 2
+    with pytest.raises(LeaseError):
+        client.heartbeat(item["id"], "w1", 10.0)
+    with pytest.raises(LeaseError):
+        client.complete(item["id"], "w1", {"value": 0}, 0.1)
+
+
+def test_error_mapping_404_and_400(service):
+    server, client = service
+    with pytest.raises(QueueServiceError) as exc:
+        client.job_status("nope")
+    assert exc.value.status == 404
+    with pytest.raises(QueueServiceError) as exc:
+        client.submit(families=["no-such-family"])
+    assert exc.value.status == 400
+    with pytest.raises(QueueServiceError) as exc:
+        client.submit(families=[])  # expands to zero points
+    assert exc.value.status == 400
+    # malformed body straight at the socket
+    req = urllib.request.Request(
+        f"{server.url}/jobs", data=b"{not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as raw:
+        urllib.request.urlopen(req, timeout=10)
+    assert raw.value.code == 400
+    # unrouted path
+    with pytest.raises(QueueServiceError) as exc:
+        client._request("GET", "/no/such/route")
+    assert exc.value.status == 404
+
+
+def test_raw_point_submission_without_a_family_expansion(service):
+    _, client = service
+    job = client.submit(
+        points=[{"family": "selftest", "params": {"mode": "ok", "value": 7}}]
+    )
+    assert job["pending"] == 1
+    QueueWorker(client, "w1", ttl_s=10.0, executor=_inline).run(drain=True)
+    rows = client.job_rows(job["id"])
+    assert rows["rows"][0]["row"]["doubled"] == 14
+
+
+def test_metrics_endpoint_exposes_queue_series(service):
+    _, client = service
+    client.submit(**SELFTEST)
+    QueueWorker(client, "w1", ttl_s=10.0, executor=_inline).run(drain=True)
+    payload = client.metrics()
+    names = set(payload["snapshot"])
+    assert {"farm.queue.submitted", "farm.queue.leases",
+            "farm.queue.completed", "farm.queue.depth"} <= names
+    assert "farm.queue.completed" in payload["render"]
+
+
+def test_two_http_workers_split_the_job(service):
+    _, client = service
+    client.submit(
+        families=["selftest"],
+        overrides={"selftest": {"modes": ["ok"] * 6}},
+    )
+    workers = [
+        QueueWorker(client, f"w{i}", ttl_s=10.0, executor=_inline)
+        for i in range(2)
+    ]
+    threads = [
+        threading.Thread(target=w.run, kwargs={"drain": True}) for w in workers
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert sum(w.stats.completed for w in workers) == 6
+    health = client.health()
+    assert health["stats"]["done"] == 6
+    assert sorted(health["stats"]["workers_seen"]) == ["w0", "w1"]

@@ -1,0 +1,197 @@
+"""FileJobQueue: durability, the lease protocol, expiry — fake clock, no sleeps."""
+
+import json
+
+import pytest
+
+from repro.farm.queue.jobqueue import ITEM_STATES, FileJobQueue, LeaseError
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _payloads(n, family="selftest"):
+    return [
+        {"family": family, "params": {"mode": "ok", "value": i}, "index": i}
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    return FileJobQueue(tmp_path / "q", clock=clock)
+
+
+def test_enqueue_and_fifo_lease_order(queue):
+    job = queue.enqueue_job(_payloads(3))
+    assert job["items"] == 3
+    assert queue.counts(job["id"])["pending"] == 3
+    leased = [queue.lease("w1", ttl_s=10.0)["params"]["value"] for _ in range(3)]
+    assert leased == [0, 1, 2]  # submission order
+    assert queue.lease("w1", ttl_s=10.0) is None  # drained
+
+
+def test_cached_items_are_born_done_and_never_leased(queue):
+    payloads = _payloads(2)
+    payloads[0]["cached"] = True
+    payloads[0]["result_key"] = "aa" * 32
+    job = queue.enqueue_job(payloads)
+    assert queue.counts(job["id"]) == {
+        "pending": 1, "leased": 0, "done": 1, "failed": 0,
+    }
+    item = queue.lease("w1", ttl_s=10.0)
+    assert item["params"]["value"] == 1  # the cached twin was skipped
+    assert queue.lease("w1", ttl_s=10.0) is None
+
+
+def test_lease_records_worker_deadline_and_attempts(queue, clock):
+    queue.enqueue_job(_payloads(1))
+    item = queue.lease("w1", ttl_s=30.0)
+    assert item["state"] == "leased"
+    assert item["attempts"] == 1
+    assert item["lease"]["worker"] == "w1"
+    assert item["lease"]["expires_at"] == pytest.approx(clock.now + 30.0)
+    assert queue.active_workers() == ["w1"]
+
+
+def test_heartbeat_extends_the_lease(queue, clock):
+    queue.enqueue_job(_payloads(1))
+    item = queue.lease("w1", ttl_s=10.0)
+    clock.advance(8.0)
+    record = queue.heartbeat(item["id"], "w1", ttl_s=10.0)
+    assert record["lease"]["expires_at"] == pytest.approx(clock.now + 10.0)
+    clock.advance(8.0)  # past the original deadline, within the extension
+    assert queue.expire_leases() == []
+
+
+def test_complete_closes_the_item(queue):
+    queue.enqueue_job(_payloads(1))
+    item = queue.lease("w1", ttl_s=10.0)
+    record = queue.complete(item["id"], "w1", "bb" * 32, duration_s=1.5)
+    assert record["state"] == "done"
+    assert record["result_key"] == "bb" * 32
+    assert record["lease"] is None
+    assert record["duration_s"] == 1.5
+
+
+def test_fail_terminal_and_fail_requeue(queue):
+    queue.enqueue_job(_payloads(2))
+    a = queue.lease("w1", ttl_s=10.0)
+    b = queue.lease("w1", ttl_s=10.0)
+    dead = queue.fail(a["id"], "w1", "boom", requeue=False)
+    assert dead["state"] == "failed" and dead["error"] == "boom"
+    back = queue.fail(b["id"], "w1", "flaky", requeue=True)
+    assert back["state"] == "pending"
+    again = queue.lease("w2", ttl_s=10.0)
+    assert again["id"] == b["id"]
+    assert again["attempts"] == 2
+
+
+def test_wrong_worker_unknown_item_and_unleased_raise(queue):
+    queue.enqueue_job(_payloads(1))
+    item = queue.lease("w1", ttl_s=10.0)
+    with pytest.raises(LeaseError):
+        queue.heartbeat(item["id"], "w2", ttl_s=10.0)
+    with pytest.raises(LeaseError):
+        queue.complete(item["id"], "intruder", "cc" * 32)
+    with pytest.raises(LeaseError):
+        queue.heartbeat("no-such-item", "w1", ttl_s=10.0)
+    queue.complete(item["id"], "w1", "cc" * 32)
+    with pytest.raises(LeaseError):  # done items reject the protocol
+        queue.complete(item["id"], "w1", "cc" * 32)
+
+
+def test_expired_lease_is_requeued_with_the_story_recorded(queue, clock):
+    queue.enqueue_job(_payloads(1))
+    item = queue.lease("w1", ttl_s=10.0)
+    assert queue.expire_leases() == []  # still live
+    clock.advance(10.1)
+    (expired,) = queue.expire_leases()
+    assert expired["id"] == item["id"]
+    assert expired["state"] == "pending"
+    assert "'w1' expired" in expired["error"]
+    assert queue.active_workers() == []
+    # the stale holder is locked out; a new worker picks the item up
+    with pytest.raises(LeaseError):
+        queue.heartbeat(item["id"], "w1", ttl_s=10.0)
+    again = queue.lease("w2", ttl_s=10.0)
+    assert again["id"] == item["id"]
+    assert again["attempts"] == 2
+
+
+def test_fail_pending_terminally_fails_without_a_lease(queue, clock):
+    queue.enqueue_job(_payloads(2))
+    item = queue.lease("w1", ttl_s=5.0)
+    clock.advance(6.0)
+    queue.expire_leases()
+    record = queue.fail_pending(item["id"], "attempts exhausted")
+    assert record["state"] == "failed"
+    # its id is still in the deque; lease() must skip it, not re-lease it
+    nxt = queue.lease("w2", ttl_s=5.0)
+    assert nxt["id"] != item["id"]
+    with pytest.raises(LeaseError):
+        queue.fail_pending(nxt["id"], "not pending")  # leased, not pending
+
+
+def test_restart_reloads_state_and_pending_order(tmp_path, clock):
+    q1 = FileJobQueue(tmp_path / "q", clock=clock)
+    job = q1.enqueue_job(_payloads(4))
+    leased = q1.lease("w1", ttl_s=60.0)
+    q1.complete(q1.lease("w1", ttl_s=60.0)["id"], "w1", "dd" * 32)
+
+    # a fresh instance over the same directory = controller restart
+    q2 = FileJobQueue(tmp_path / "q", clock=clock)
+    assert q2.counts(job["id"]) == {
+        "pending": 2, "leased": 1, "done": 1, "failed": 0,
+    }
+    # the surviving lease is intact and expires normally
+    assert q2.active_workers() == ["w1"]
+    clock.advance(61.0)
+    assert [r["id"] for r in q2.expire_leases()] == [leased["id"]]
+    # pending items drain in original submission order, expiry last
+    ids = []
+    while True:
+        record = q2.lease("w2", ttl_s=10.0)
+        if record is None:
+            break
+        ids.append(record["seq"])
+    assert ids == [2, 3, 0]
+
+
+def test_corrupt_item_file_is_dropped_on_reload(tmp_path, clock):
+    q1 = FileJobQueue(tmp_path / "q", clock=clock)
+    job = q1.enqueue_job(_payloads(2))
+    victim = tmp_path / "q" / "items" / f"{job['id']}-0000.json"
+    victim.write_text("{torn write")
+    q2 = FileJobQueue(tmp_path / "q", clock=clock)
+    assert q2.counts()["pending"] == 1
+    assert q2.lease("w1", ttl_s=10.0)["seq"] == 1
+
+
+def test_every_transition_is_on_disk_immediately(tmp_path, clock):
+    queue = FileJobQueue(tmp_path / "q", clock=clock)
+    job = queue.enqueue_job(_payloads(1))
+    path = tmp_path / "q" / "items" / f"{job['id']}-0000.json"
+
+    def on_disk():
+        return json.loads(path.read_text())
+
+    assert on_disk()["state"] == "pending"
+    item = queue.lease("w1", ttl_s=10.0)
+    assert on_disk()["state"] == "leased"
+    queue.complete(item["id"], "w1", "ee" * 32)
+    assert on_disk()["state"] == "done"
+    assert on_disk()["state"] in ITEM_STATES

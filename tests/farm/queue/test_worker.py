@@ -1,0 +1,134 @@
+"""QueueWorker loop against a real controller, with injected executors.
+
+The executor seam (``QueueWorker(executor=...)``) lets these tests fake
+results, deterministic errors, transient crashes, and mid-point worker
+death without spawning children — the real spawned-child executor is
+covered by the backend/service e2e tests.
+"""
+
+import pytest
+
+from repro.farm.points import execute_point, expand_family
+from repro.farm.queue.controller import QueueController
+from repro.farm.queue.jobqueue import FileJobQueue
+from repro.farm.queue.worker import QueueWorker
+from repro.farm.store import ResultStore
+from repro.obs import MetricsRegistry
+
+from .test_jobqueue import FakeClock
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def ctrl(tmp_path, clock):
+    return QueueController(
+        FileJobQueue(tmp_path / "q", clock=clock),
+        store=ResultStore(tmp_path / "store"),
+        registry=MetricsRegistry(),
+        max_attempts=2,
+        default_ttl_s=10.0,
+    )
+
+
+def _inline(family, params, timeout_s, heartbeat):
+    heartbeat()
+    return "ok", execute_point(family, params), 0.01
+
+
+def test_drain_executes_everything_and_reports_rows(ctrl):
+    specs = expand_family("selftest", "paper", {"modes": ("ok", "ok", "ok")})
+    job = ctrl.submit(specs)
+    worker = QueueWorker(ctrl, "w1", ttl_s=10.0, executor=_inline)
+    stats = worker.run(drain=True)
+    assert stats.completed == 3 and stats.failed == 0
+    assert stats.idle_polls == 1  # the empty poll that ended the drain
+    rows = ctrl.job_rows(job["id"])
+    assert [r["doubled"] for r in rows] == [0, 2, 4]
+    assert "3 completed" in stats.summary_line()
+
+
+def test_deterministic_error_fails_without_retry(ctrl):
+    def explode(family, params, timeout_s, heartbeat):
+        return "error", "RuntimeError: injected point failure", 0.01
+
+    job = ctrl.submit(expand_family("selftest", "paper", {"modes": ("error",)}))
+    stats = QueueWorker(ctrl, "w1", ttl_s=10.0, executor=explode).run(drain=True)
+    assert stats.completed == 0 and stats.failed == 1
+    (state,) = ctrl.job_status(job["id"])["item_states"]
+    assert state["state"] == "failed"
+    assert state["attempts"] == 1  # never requeued
+    assert "injected point failure" in state["error"]
+
+
+def test_transient_crash_is_retried_then_succeeds(ctrl):
+    calls = []
+
+    def flaky(family, params, timeout_s, heartbeat):
+        calls.append(params)
+        if len(calls) == 1:
+            return "crash", "child died with exit code 41", 0.01
+        return "ok", execute_point(family, params), 0.01
+
+    job = ctrl.submit(expand_family("selftest", "paper", {"modes": ("ok",)}))
+    stats = QueueWorker(ctrl, "w1", ttl_s=10.0, executor=flaky).run(drain=True)
+    assert stats.failed == 1 and stats.completed == 1  # attempt 1, attempt 2
+    status = ctrl.job_status(job["id"])
+    assert status["ok"]
+    assert status["item_states"][0]["attempts"] == 2
+    assert ctrl.store.count() == 1
+
+
+def test_mid_point_death_loses_the_lease_and_the_result_is_dropped(
+    ctrl, clock
+):
+    """A worker whose heartbeat stops (GC pause, network partition, kill -9
+    between beats) discovers on its next beat that the item moved on; its
+    computed row is dropped, the re-leasing worker's row wins."""
+    specs = expand_family("selftest", "paper", {"modes": ("ok",)})
+    ctrl.submit(specs)
+
+    def stalls_then_finishes(family, params, timeout_s, heartbeat):
+        clock.advance(10.1)  # the stall: TTL passes with no beat
+        ctrl.lease("w2")  # the rescuer grabs the expired item...
+        heartbeat()  # ...so this beat raises LeaseError
+        raise AssertionError("unreachable: the heartbeat must have raised")
+
+    w1 = QueueWorker(ctrl, "w1", ttl_s=10.0, executor=stalls_then_finishes)
+    assert w1.run_one() is False
+    assert w1.stats.lost_leases == 1
+    assert w1.stats.completed == 0
+    # w2 finishes the point; exactly one store record exists
+    item = ctrl.queue.items()[0]
+    ctrl.complete(item["id"], "w2", execute_point("selftest", item["params"]))
+    assert ctrl.store.count() == 1
+
+
+def test_lost_race_at_the_report_step(ctrl, clock):
+    # The worker computes fine but its lease died before complete().
+    def slow_ok(family, params, timeout_s, heartbeat):
+        clock.advance(10.1)
+        ctrl.expire_leases()
+        return "ok", execute_point(family, params), 0.01
+
+    ctrl.submit(expand_family("selftest", "paper", {"modes": ("ok",)}))
+    w1 = QueueWorker(ctrl, "w1", ttl_s=10.0, executor=slow_ok)
+    assert w1.run_one() is False
+    assert w1.stats.lost_leases == 1
+
+
+def test_max_points_and_stop_bound_the_loop(ctrl):
+    ctrl.submit(expand_family("selftest", "paper", {"modes": ("ok",) * 4}))
+    w1 = QueueWorker(ctrl, "w1", ttl_s=10.0, executor=_inline)
+    assert w1.run(drain=True, max_points=2).completed == 2
+    w2 = QueueWorker(ctrl, "w2", ttl_s=10.0, executor=_inline)
+    assert w2.run(drain=True, stop=lambda: True).completed == 0
+    assert ctrl.stats()["pending"] == 2
+
+
+def test_ttl_validation(ctrl):
+    with pytest.raises(ValueError):
+        QueueWorker(ctrl, "w1", ttl_s=0.0)
