@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the live telemetry plane: start the queue
+# service, curl the Prometheus exposition (HELP/TYPE lines + content
+# type), prove the SSE stream delivers a queue-depth change caused by a
+# real submission, revalidate the trend artifact with If-None-Match
+# (304), and fetch the dashboard page itself.
+#
+#   ./scripts/smoke_dashboard.sh      # uses a temp dir, cleans up after
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+workdir="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+curl_i() { curl -sS -D "$workdir/headers.txt" "$@"; }
+
+echo "== start the queue service (fast publisher poll) =="
+python -m repro.harness.cli serve \
+    --store "$workdir/store" --queue "$workdir/queue" \
+    --trend-store "$workdir/trend" --publish-interval 0.2 \
+    --ttl 30 >"$workdir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    url="$(sed -n 's/.*service on \(http:\/\/[^ ]*\).*/\1/p' "$workdir/serve.log")"
+    [ -n "$url" ] && break
+    kill -0 "$serve_pid" || { cat "$workdir/serve.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$url" ] || { echo "service never came up"; cat "$workdir/serve.log"; exit 1; }
+echo "service at $url"
+grep -q "dashboard at" "$workdir/serve.log"
+
+echo "== /metrics?format=prometheus renders a legal exposition =="
+curl_i "$url/metrics?format=prometheus" >"$workdir/metrics.txt"
+grep -qi "^content-type: application/openmetrics-text" "$workdir/headers.txt"
+grep -q "^# TYPE farm_queue_depth gauge" "$workdir/metrics.txt"
+grep -q "^# HELP farm_queue_depth " "$workdir/metrics.txt"
+grep -q "^# EOF" "$workdir/metrics.txt"
+# the JSON default is untouched
+curl_i "$url/metrics" >/dev/null
+grep -qi "^content-type: application/json" "$workdir/headers.txt"
+
+echo "== healthz reports store records + uptime =="
+curl -sS "$url/healthz" | tee "$workdir/healthz.json"; echo
+grep -q '"store_records"' "$workdir/healthz.json"
+grep -q '"uptime_s"' "$workdir/healthz.json"
+
+echo "== SSE delivers a queue-depth change end-to-end =="
+# Open a real stream first (snapshot shows pending 0), then submit while
+# it is open: the publisher must push the new depth to the open client.
+curl -sS -N --max-time 15 "$url/events" >"$workdir/events.txt" &
+sse_pid=$!
+sleep 1
+python -m repro.harness.cli farm submit "$url" table1 --preset smoke \
+    >"$workdir/submit.txt"
+for _ in $(seq 1 50); do
+    grep -q '"pending":[1-9]' "$workdir/events.txt" && break
+    sleep 0.2
+done
+kill "$sse_pid" 2>/dev/null || true
+wait "$sse_pid" 2>/dev/null || true
+grep -q "^event: queue" "$workdir/events.txt"
+grep -q '"pending":[1-9]' "$workdir/events.txt" \
+    || { echo "queue-depth change never reached the SSE client"; cat "$workdir/events.txt"; exit 1; }
+echo "queue-depth change observed on the open stream"
+
+echo "== drain, then the trend artifact revalidates with a 304 =="
+python -m repro.harness.cli worker "$url" --id smoke-dash --ttl 30 --drain \
+    >"$workdir/worker.log" 2>&1
+grep -q "0 failed" "$workdir/worker.log"
+
+curl_i "$url/trends" >"$workdir/trends.json"
+etag="$(sed -n 's/^[Ee][Tt]ag: \(.*\)/\1/p' "$workdir/headers.txt" | tr -d '\r')"
+[ -n "$etag" ] || { echo "no ETag on /trends"; exit 1; }
+code="$(curl -sS -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "$url/trends")"
+[ "$code" = "304" ] || { echo "expected 304 on trend revalidation, got $code"; exit 1; }
+echo "trend artifact 304 revalidation ok (ETag $etag)"
+
+echo "== the dashboard page itself =="
+curl_i "$url/dashboard" >"$workdir/dash.html"
+grep -qi "^content-type: text/html" "$workdir/headers.txt"
+grep -q "EventSource" "$workdir/dash.html"
+
+echo "== standalone repro dashboard serves the same store read-only =="
+python -m repro.harness.cli dashboard \
+    --store "$workdir/store" --trend-store "$workdir/trend" \
+    >"$workdir/dashboard.log" 2>&1 &
+dash_pid=$!
+for _ in $(seq 1 50); do
+    durl="$(sed -n 's/.*open \(http:\/\/[^ ]*\)\/dashboard.*/\1/p' "$workdir/dashboard.log")"
+    [ -n "$durl" ] && break
+    kill -0 "$dash_pid" || { cat "$workdir/dashboard.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$durl" ] || { echo "dashboard never came up"; cat "$workdir/dashboard.log"; exit 1; }
+curl_i "$durl/metrics?format=prometheus" >"$workdir/dash-metrics.txt"
+grep -qi "^content-type: application/openmetrics-text" "$workdir/headers.txt"
+grep -q "^# EOF" "$workdir/dash-metrics.txt"
+curl -sS "$durl/healthz" | grep -q '"mode": "dashboard"'
+kill "$dash_pid" 2>/dev/null || true
+wait "$dash_pid" 2>/dev/null || true
+
+echo "smoke_dashboard: all checks passed"

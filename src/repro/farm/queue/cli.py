@@ -65,6 +65,27 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="extra attempts after a transient worker failure (default 1)",
     )
     parser.add_argument(
+        "--trend-store",
+        metavar="PATH",
+        default=None,
+        help="trend store directory feeding /trends and the dashboard "
+        "(default: $REPRO_TREND_STORE or .trend-store)",
+    )
+    parser.add_argument(
+        "--traces",
+        metavar="PATH",
+        default=None,
+        help="directory of Perfetto trace JSONs served under /traces",
+    )
+    parser.add_argument(
+        "--publish-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="live telemetry poll interval in seconds; 0 disables the "
+        "publisher thread (default 1)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
@@ -72,6 +93,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
     args = _build_serve_parser().parse_args(argv)
+    from ...obs.trends.store import TrendStore
     from .controller import QueueController
     from .httpd import make_server
     from .jobqueue import FileJobQueue
@@ -83,9 +105,19 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         max_attempts=args.retries + 1,
         default_ttl_s=args.ttl,
     )
-    server = make_server(
-        controller, host=args.host, port=args.port, verbose=args.verbose
+    trend_store = TrendStore(
+        Path(args.trend_store) if args.trend_store else None
     )
+    server = make_server(
+        controller,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        trend_store=trend_store,
+        traces_dir=Path(args.traces) if args.traces else None,
+    )
+    if args.publish_interval > 0:
+        server.publisher.start(interval_s=args.publish_interval)
     stats = controller.stats()
     print(
         f"[serve] farm queue service on {server.url} "
@@ -93,6 +125,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         f"{stats['pending']} pending / {stats['done']} done on disk)",
         flush=True,
     )
+    print(f"[serve] dashboard at {server.url}/dashboard", flush=True)
     # SIGTERM (CI teardown, orchestrators) shuts down as cleanly as ^C.
     signal.signal(signal.SIGTERM, lambda *a: sys.exit(0))
     try:
@@ -100,6 +133,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        server.publisher.stop()
         server.server_close()
         print("[serve] stopped", flush=True)
     return 0

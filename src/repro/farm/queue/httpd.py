@@ -14,9 +14,16 @@ method, so the HTTP layer adds transport, never semantics:
 ``POST /items/<id>/complete``                worker: report a finished row
 ``POST /items/<id>/fail``                    worker: report a failed attempt
 ``GET  /results/<key>``                      store record, ETag on the key
-``GET  /metrics``                            farm.queue.* registry snapshot
+``GET  /metrics``                            JSON snapshot, or Prometheus
+                                             text via ``?format=prometheus``
 ``GET  /healthz``                            liveness + queue statistics
+                                             + store records + uptime
 ===========================================  =================================
+
+plus the live telemetry plane shared with ``repro dashboard``
+(:class:`repro.obs.live.httpd.LiveRoutesMixin`): ``GET /`` and
+``GET /dashboard`` (the HTML page), ``GET /events`` (SSE), ``GET
+/trends``, ``GET /records``, and ``GET /traces[/<name>]``.
 
 ``GET /results/<key>`` serves the content-addressed store directly: the
 key *is* the content identity, so the ``ETag`` is the key itself and a
@@ -35,9 +42,12 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
+from ...obs.live.httpd import ApiError, LiveRoutesMixin
+from ...obs.live.publisher import TelemetryPublisher
 from ..points import PointSpec, expand_family
 from .controller import LeaseError, QueueController
 
@@ -47,12 +57,8 @@ __all__ = ["FarmQueueServer", "make_server"]
 #: smaller).  Anything larger is a client bug, not a bigger experiment.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
-
-class _ApiError(Exception):
-    def __init__(self, status: int, message: str):
-        super().__init__(message)
-        self.status = status
-        self.message = message
+#: The HTTP layer's error type is the shared live-plane one.
+_ApiError = ApiError
 
 
 def _specs_from_body(body: dict) -> List[PointSpec]:
@@ -86,8 +92,12 @@ def _specs_from_body(body: dict) -> List[PointSpec]:
     return specs
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """One request; all state lives on ``self.server.controller``."""
+class _Handler(LiveRoutesMixin, BaseHTTPRequestHandler):
+    """One request; all state lives on ``self.server.controller``.
+
+    JSON plumbing (``_send_json``/``_send_body``/ETags) and the live
+    telemetry routes come from :class:`LiveRoutesMixin`.
+    """
 
     server_version = "repro-farm-queue/1"
     protocol_version = "HTTP/1.1"
@@ -97,26 +107,6 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
         if self.server.verbose:
             super().log_message(fmt, *args)
-
-    def _send_json(
-        self,
-        payload: dict,
-        status: int = 200,
-        headers: Optional[List[Tuple[str, str]]] = None,
-    ) -> None:
-        body = json.dumps(payload, indent=1).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in headers or []:
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_empty(self, status: int) -> None:
-        self.send_response(status)
-        self.send_header("Content-Length", "0")
-        self.end_headers()
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -153,11 +143,23 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({"error": exc.message}, status=exc.status)
         except LeaseError as exc:
             self._send_json({"error": str(exc)}, status=409)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream
         except Exception as exc:  # pragma: no cover - last-resort guard
             self._send_json({"error": f"{type(exc).__name__}: {exc}"}, status=500)
 
     def _route(self, method: str, path: str):
         if method == "GET":
+            if path in ("/", "/dashboard"):
+                return lambda c: self._get_dashboard()
+            if path == "/events":
+                return lambda c: self._get_events()
+            if path == "/trends":
+                return lambda c: self._get_trends()
+            if path == "/records":
+                return lambda c: self._get_records()
+            if path == "/traces":
+                return lambda c: self._get_traces()
             if path == "/healthz":
                 return self._get_healthz
             if path == "/metrics":
@@ -172,7 +174,10 @@ class _Handler(BaseHTTPRequestHandler):
                 return lambda c: self._get_job_rows(c, m.group(1))
             m = re.fullmatch(r"/results/([0-9a-f]{8,64})", path)
             if m:
-                return lambda c: self._get_result(c, m.group(1))
+                return lambda c: self._get_result(m.group(1))
+            m = re.fullmatch(r"/traces/([^/]+)", path)
+            if m:
+                return lambda c: self._get_trace_file(m.group(1))
         elif method == "POST":
             if path == "/jobs":
                 return self._post_jobs
@@ -186,9 +191,18 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------------
 
     def _get_healthz(self, controller) -> None:
-        self._send_json({"ok": True, "stats": controller.stats()})
+        self._send_json(
+            {
+                "ok": True,
+                "stats": controller.stats(),
+                **self._healthz_extras(),
+            }
+        )
 
     def _get_metrics(self, controller) -> None:
+        if self._wants_prometheus():
+            self._send_prometheus(controller.registry)
+            return
         self._send_json(
             {
                 "snapshot": controller.registry.snapshot(),
@@ -229,24 +243,6 @@ class _Handler(BaseHTTPRequestHandler):
                     for item, row in zip(status["item_states"], rows)
                 ],
             }
-        )
-
-    def _get_result(self, controller, key: str) -> None:
-        record = controller.store.get(key)
-        if record is None:
-            raise _ApiError(404, f"no result under key {key}")
-        # The key is the content identity: ETag == key, immutable.
-        etag = f'"{key}"'
-        if_none_match = self.headers.get("If-None-Match", "")
-        if etag in [v.strip() for v in if_none_match.split(",")]:
-            self.send_response(304)
-            self.send_header("ETag", etag)
-            self.send_header("Content-Length", "0")
-            self.end_headers()
-            return
-        self._send_json(
-            record,
-            headers=[("ETag", etag), ("Cache-Control", "max-age=31536000")],
         )
 
     def _post_jobs(self, controller) -> None:
@@ -295,7 +291,14 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class FarmQueueServer(ThreadingHTTPServer):
-    """The queue service: a threading HTTP server bound to a controller."""
+    """The queue service: a threading HTTP server bound to a controller.
+
+    Also hosts the live telemetry plane: ``result_store`` (the
+    controller's store), an optional ``trend_store``/``traces_dir``,
+    and a :class:`TelemetryPublisher` feeding ``GET /events`` — built
+    here when not injected, but its poll thread is only started by the
+    caller (``serve_main`` does; tests poll by hand).
+    """
 
     daemon_threads = True
 
@@ -305,10 +308,28 @@ class FarmQueueServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        trend_store=None,
+        traces_dir=None,
+        publisher: Optional[TelemetryPublisher] = None,
     ):
         super().__init__((host, port), _Handler)
         self.controller = controller
         self.verbose = verbose
+        self.result_store = controller.store
+        self.trend_store = trend_store
+        self.traces_dir = traces_dir
+        if publisher is None:
+            from ...obs.live.publisher import make_collector
+
+            publisher = TelemetryPublisher(
+                make_collector(
+                    controller=controller,
+                    store=controller.store,
+                    trend_store=trend_store,
+                )
+            )
+        self.publisher = publisher
+        self.started_monotonic = time.monotonic()
 
     @property
     def port(self) -> int:
@@ -325,6 +346,17 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    trend_store=None,
+    traces_dir=None,
+    publisher: Optional[TelemetryPublisher] = None,
 ) -> FarmQueueServer:
     """Bind (``port=0`` picks a free port) — call ``serve_forever()``."""
-    return FarmQueueServer(controller, host=host, port=port, verbose=verbose)
+    return FarmQueueServer(
+        controller,
+        host=host,
+        port=port,
+        verbose=verbose,
+        trend_store=trend_store,
+        traces_dir=traces_dir,
+        publisher=publisher,
+    )

@@ -71,6 +71,8 @@ class FarmReport:
     lease_count: int = 0
     #: distinct workers that leased work in the queue backend (0 for the pool).
     worker_count: int = 0
+    #: cached records in the result store after this run (dashboard tile).
+    store_records: int = 0
 
     @property
     def ok(self) -> bool:
@@ -116,6 +118,7 @@ class FarmReport:
             "failed": self.n_failed,
             "retried": self.n_retried,
             "cache_hit_rate": self.cache_hit_rate,
+            "store_records": self.store_records,
             "families": {
                 f.name: {
                     "points": len(f.outcomes),
@@ -398,6 +401,7 @@ def run_farm(
         queue_depth=queue_stats["queue_depth"],
         lease_count=queue_stats["lease_count"],
         worker_count=queue_stats["worker_count"],
+        store_records=store.count(),
     )
     summary = report.summary_dict()
     try:

@@ -46,6 +46,15 @@ lease-based worker protocol); ``worker`` pulls and executes points from
 any host; ``farm submit`` enqueues families over HTTP and replays the
 same byte-identical tables.
 
+Live telemetry (see docs/OBSERVABILITY.md, "Live telemetry")::
+
+    python -m repro.harness.cli dashboard --port 8643
+
+``dashboard`` serves the static farm dashboard (stat tiles, per-family
+sparklines, SSE live updates) plus ``/metrics?format=prometheus`` over
+the result store and trend store — no queue service required.  The
+same pages are also mounted on ``repro serve`` itself.
+
 Trend subcommands (see docs/TRENDS.md)::
 
     python -m repro.harness.cli trend record --farm-store .farm-store
@@ -337,6 +346,14 @@ def cmd_worker(argv: List[str]) -> int:
     return worker_main(list(argv))
 
 
+def cmd_dashboard(argv: List[str]) -> int:
+    """``repro dashboard ...`` — standalone telemetry dashboard
+    (docs/OBSERVABILITY.md, "Live telemetry")."""
+    from ..obs.live.cli import dashboard_main
+
+    return dashboard_main(list(argv))
+
+
 #: Subcommands with their own argument structure (dispatched before the
 #: experiment parser so ``repro table1 fig8a`` keeps working unchanged).
 OBS_COMMANDS = {
@@ -347,6 +364,7 @@ OBS_COMMANDS = {
     "trend": cmd_trend,
     "serve": cmd_serve,
     "worker": cmd_worker,
+    "dashboard": cmd_dashboard,
 }
 
 

@@ -1,0 +1,41 @@
+"""Live telemetry plane: exposition, event stream, dashboard.
+
+``repro.obs.live`` is the serving layer over the observability stack
+(see docs/OBSERVABILITY.md, "Live telemetry"):
+
+- :mod:`.exposition` — Prometheus/OpenMetrics text rendering of a
+  :class:`~repro.obs.registry.MetricsRegistry` (or of the snapshot dict
+  a farm run persists in ``last-run.json``), plus the parser the
+  round-trip tests and the smoke script use;
+- :mod:`.publisher` — a polling :class:`~.publisher.TelemetryPublisher`
+  that diffs queue/store/trend state into server-sent events with
+  monotonic sequence ids, so a client can resume via ``Last-Event-ID``
+  without duplicated or skipped events;
+- :mod:`.httpd` — the shared HTTP routes (``/events``, ``/trends``,
+  ``/records``, the dashboard page, Prometheus content negotiation)
+  mounted by both the farm queue service (``repro serve``) and the
+  standalone read-only :class:`~.httpd.DashboardServer`
+  (``repro dashboard``);
+- :mod:`.dashboard` — the static single-file HTML dashboard (no CDN,
+  inline SVG sparklines, SSE-driven tiles).
+
+Everything is stdlib + the existing registry: the live plane adds
+transport, never semantics, and costs nothing when not serving.
+"""
+
+from .exposition import (
+    OPENMETRICS_CONTENT_TYPE,
+    parse_exposition,
+    render_exposition,
+)
+from .publisher import LiveEvent, TelemetryPublisher, format_sse, make_collector
+
+__all__ = [
+    "LiveEvent",
+    "OPENMETRICS_CONTENT_TYPE",
+    "TelemetryPublisher",
+    "format_sse",
+    "make_collector",
+    "parse_exposition",
+    "render_exposition",
+]

@@ -1,0 +1,105 @@
+"""``repro dashboard`` — the standalone, read-only telemetry server.
+
+::
+
+    repro dashboard                         # serve .farm-store + .trend-store
+    repro dashboard --port 8643 --traces traces/
+    repro dashboard --no-browser-hint       # quiet startup line
+
+No queue controller is required: the queue/family tiles fall back to
+the last recorded farm run (``last-run.json``), trends come from the
+trend store, and ``/metrics?format=prometheus`` renders the last run's
+persisted metrics snapshot.  Point a browser at the printed URL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["dashboard_main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro dashboard",
+        description="Serve the farm telemetry dashboard (read-only) over "
+        "a result store and a trend store — no queue service needed.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (default: pick a free one)"
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="result store directory (default: $REPRO_FARM_STORE or .farm-store)",
+    )
+    parser.add_argument(
+        "--trend-store",
+        metavar="PATH",
+        default=None,
+        help="trend store directory (default: $REPRO_TREND_STORE or .trend-store)",
+    )
+    parser.add_argument(
+        "--traces",
+        metavar="PATH",
+        default=None,
+        help="directory of Perfetto trace JSONs served under /traces",
+    )
+    parser.add_argument(
+        "--publish-interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="live telemetry poll interval in seconds; 0 disables the "
+        "publisher thread (default 2)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def dashboard_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    from ...farm.store import ResultStore, default_store_path
+    from ..trends.store import TrendStore
+    from .httpd import make_dashboard_server
+
+    store = ResultStore(
+        Path(args.store) if args.store else default_store_path()
+    )
+    trend_store = TrendStore(
+        Path(args.trend_store) if args.trend_store else None
+    )
+    server = make_dashboard_server(
+        result_store=store,
+        trend_store=trend_store,
+        traces_dir=Path(args.traces) if args.traces else None,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+    )
+    if args.publish_interval > 0:
+        server.publisher.start(interval_s=args.publish_interval)
+    print(
+        f"[dashboard] serving {store.root} + {trend_store.root} "
+        f"on {server.url}",
+        flush=True,
+    )
+    print(f"[dashboard] open {server.url}/dashboard", flush=True)
+    signal.signal(signal.SIGTERM, lambda *a: sys.exit(0))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.publisher.stop()
+        server.server_close()
+        print("[dashboard] stopped", flush=True)
+    return 0

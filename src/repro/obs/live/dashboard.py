@@ -1,0 +1,317 @@
+"""The static single-file farm dashboard (no CDN, stdlib-served).
+
+One HTML document, embedded as a constant so the servers need no
+package-data machinery: stat tiles fed live by the ``/events`` SSE
+stream (``EventSource`` resumes via ``Last-Event-ID`` automatically),
+per-series sparklines rendered as inline SVG from the ``/trends`` JSON
+artifact, a families table, recent ``/results/<key>`` rows, and the
+download links (Prometheus text, trend artifact, Perfetto traces when
+the server has a traces directory).
+
+Relative URLs only (``events``, ``trends``, ``records`` …), so the same
+page works mounted at ``/`` and at ``/dashboard`` on both the farm
+queue service and the standalone dashboard server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["DASHBOARD_ETAG", "DASHBOARD_HTML", "HTML_CONTENT_TYPE"]
+
+HTML_CONTENT_TYPE = "text/html; charset=utf-8"
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro farm &mdash; live telemetry</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --plane: #f9f9f7;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted: #898781;
+    --grid: #e1e0d9;
+    --border: rgba(11, 11, 11, 0.10);
+    --series-1: #2a78d6;
+    --status-good: #0ca30c;
+    --status-warning: #fab219;
+    --status-critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --plane: #0d0d0d;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted: #898781;
+      --grid: #2c2c2a;
+      --border: rgba(255, 255, 255, 0.10);
+      --series-1: #3987e5;
+    }
+  }
+  * { box-sizing: border-box; }
+  body.viz-root {
+    margin: 0; padding: 24px;
+    background: var(--plane); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header { display: flex; align-items: baseline; gap: 12px; margin-bottom: 20px; }
+  h1 { font-size: 18px; font-weight: 600; margin: 0; }
+  .conn { font-size: 12px; color: var(--text-muted); }
+  .conn .dot { display: inline-block; width: 8px; height: 8px; border-radius: 50%;
+               background: var(--text-muted); margin-right: 4px; vertical-align: baseline; }
+  .conn.live .dot { background: var(--status-good); }
+  h2 { font-size: 13px; font-weight: 600; color: var(--text-secondary);
+       margin: 24px 0 8px; text-transform: none; }
+  .tiles { display: grid; grid-template-columns: repeat(auto-fill, minmax(150px, 1fr)); gap: 12px; }
+  .tile { background: var(--surface-1); border: 1px solid var(--border);
+          border-radius: 8px; padding: 12px 14px; }
+  .tile .label { font-size: 12px; color: var(--text-secondary); }
+  .tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+  .tile .sub { font-size: 12px; color: var(--text-muted); margin-top: 2px; }
+  .status-chip { font-size: 13px; font-weight: 600; }
+  .status-ok .value { color: var(--text-primary); }
+  .chip { display: inline-flex; align-items: center; gap: 5px; font-size: 12px;
+          color: var(--text-secondary); }
+  .chip .mark { font-weight: 700; }
+  .chip.ok .mark { color: var(--status-good); }
+  .chip.warn .mark { color: var(--status-warning); }
+  .chip.regress .mark { color: var(--status-critical); }
+  .chip.short .mark { color: var(--text-muted); }
+  .cards { display: grid; grid-template-columns: repeat(auto-fill, minmax(240px, 1fr)); gap: 12px; }
+  .card { background: var(--surface-1); border: 1px solid var(--border);
+          border-radius: 8px; padding: 10px 12px; }
+  .card .name { font-size: 12px; color: var(--text-secondary);
+                overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  .card .row { display: flex; align-items: center; justify-content: space-between;
+               gap: 8px; margin-top: 4px; }
+  .card .last { font-size: 16px; font-weight: 600; }
+  svg.spark { display: block; }
+  table { border-collapse: collapse; width: 100%; background: var(--surface-1);
+          border: 1px solid var(--border); border-radius: 8px; overflow: hidden; }
+  th, td { text-align: left; padding: 6px 12px; font-size: 13px;
+           border-top: 1px solid var(--grid); }
+  thead th { border-top: none; color: var(--text-secondary); font-weight: 600; font-size: 12px; }
+  td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+  a { color: var(--series-1); text-decoration: none; }
+  a:hover { text-decoration: underline; }
+  .downloads { display: flex; flex-wrap: wrap; gap: 14px; font-size: 13px; }
+  .empty { color: var(--text-muted); font-size: 13px; }
+  footer { margin-top: 28px; font-size: 12px; color: var(--text-muted); }
+  code { font-family: ui-monospace, SFMono-Regular, Menlo, monospace; font-size: 12px; }
+</style>
+</head>
+<body class="viz-root">
+<header>
+  <h1>repro farm &mdash; live telemetry</h1>
+  <span id="conn" class="conn"><span class="dot"></span><span id="conn-text">connecting&hellip;</span></span>
+</header>
+
+<section class="tiles" aria-label="live farm state">
+  <div class="tile"><div class="label">Queue depth</div><div class="value" id="t-pending">&ndash;</div><div class="sub" id="t-jobs"></div></div>
+  <div class="tile"><div class="label">Leased</div><div class="value" id="t-leased">&ndash;</div></div>
+  <div class="tile"><div class="label">Workers</div><div class="value" id="t-workers">&ndash;</div></div>
+  <div class="tile"><div class="label">Points done</div><div class="value" id="t-done">&ndash;</div><div class="sub" id="t-failed"></div></div>
+  <div class="tile"><div class="label">Store records</div><div class="value" id="t-records">&ndash;</div></div>
+  <div class="tile"><div class="label">Cache hit rate</div><div class="value" id="t-hitrate">&ndash;</div><div class="sub" id="t-backend"></div></div>
+  <div class="tile status-ok"><div class="label">Regression gate</div>
+    <div class="value status-chip" id="t-gate">&ndash;</div>
+    <div class="sub" id="t-gate-runs"></div></div>
+</section>
+
+<h2>Per-family points</h2>
+<div id="families"><p class="empty">No family activity yet.</p></div>
+
+<h2>Performance trends</h2>
+<div id="trends" class="cards"><p class="empty">Loading trend artifact&hellip;</p></div>
+
+<h2>Recent results</h2>
+<div id="records"><p class="empty">No cached rows yet.</p></div>
+
+<h2>Downloads</h2>
+<div class="downloads">
+  <a href="metrics?format=prometheus">Prometheus metrics</a>
+  <a href="trends">Trend artifact (JSON)</a>
+  <a href="metrics">Metrics snapshot (JSON)</a>
+  <span id="traces-links"></span>
+</div>
+
+<footer id="foot">waiting for first event&hellip;</footer>
+
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const fmt = (v) => (v === undefined || v === null) ? "\\u2013" :
+  (typeof v === "number" && !Number.isInteger(v)) ? v.toFixed(v < 10 ? 3 : 1) : String(v);
+
+const GATE = {
+  ok:      { mark: "\\u2713", text: "ok",      cls: "ok" },
+  warn:    { mark: "\\u26a0", text: "warn",    cls: "warn" },
+  regress: { mark: "\\u2716", text: "regress", cls: "regress" },
+  short:   { mark: "\\u2014", text: "short",   cls: "short" },
+};
+function chip(status) {
+  const g = GATE[status] || GATE.short;
+  return '<span class="chip ' + g.cls + '"><span class="mark">' + g.mark +
+         '</span>' + g.text + '</span>';
+}
+
+// Sparkline: 2px line in the series hue, >=8px end marker with a 2px
+// surface ring; a flat series draws at mid-height (never "near zero").
+function spark(values, w, h) {
+  w = w || 120; h = h || 36;
+  const pad = 5;
+  if (!values || !values.length) return "";
+  const lo = Math.min(...values), hi = Math.max(...values);
+  const y = (v) => (hi <= lo) ? h / 2 :
+    h - pad - ((v - lo) / (hi - lo)) * (h - 2 * pad);
+  const x = (i) => values.length === 1 ? w - pad :
+    pad + (i / (values.length - 1)) * (w - 2 * pad);
+  const pts = values.map((v, i) => x(i).toFixed(1) + "," + y(v).toFixed(1)).join(" ");
+  const lastX = x(values.length - 1), lastY = y(values[values.length - 1]);
+  return '<svg class="spark" width="' + w + '" height="' + h + '" role="img" ' +
+    'aria-label="trend of ' + values.length + ' runs, last ' + fmt(values[values.length - 1]) + '">' +
+    '<polyline fill="none" stroke="var(--series-1)" stroke-width="2" ' +
+    'stroke-linejoin="round" stroke-linecap="round" points="' + pts + '"/>' +
+    '<circle cx="' + lastX + '" cy="' + lastY + '" r="4" fill="var(--series-1)" ' +
+    'stroke="var(--surface-1)" stroke-width="2"/></svg>';
+}
+
+function esc(s) {
+  return String(s).replace(/&/g, "&amp;").replace(/</g, "&lt;").replace(/>/g, "&gt;")
+                  .replace(/"/g, "&quot;");
+}
+
+const state = { lastEventId: 0 };
+
+function onQueue(d) {
+  $("t-pending").textContent = fmt(d.pending);
+  $("t-leased").textContent = fmt(d.leased);
+  $("t-workers").textContent = fmt(d.workers);
+  $("t-done").textContent = fmt(d.done);
+  $("t-failed").textContent = d.failed ? d.failed + " failed" : "";
+  $("t-jobs").textContent = d.jobs !== undefined ? d.jobs + " job(s)" : "";
+}
+
+function onFamilies(d) {
+  const names = Object.keys(d).sort();
+  if (!names.length) return;
+  let html = "<table><thead><tr><th>family</th><th class=num>completed</th>" +
+             "<th class=num>cached</th><th class=num>failed</th></tr></thead><tbody>";
+  for (const name of names) {
+    const f = d[name];
+    html += "<tr><td>" + esc(name) + "</td><td class=num>" + fmt(f.completed || 0) +
+            "</td><td class=num>" + fmt(f.cached || 0) +
+            "</td><td class=num>" + fmt(f.failed || 0) + "</td></tr>";
+  }
+  $("families").innerHTML = html + "</tbody></table>";
+}
+
+function onStore(d) {
+  $("t-records").textContent = fmt(d.records);
+  const last = d.last_run || {};
+  if (last.cache_hit_rate !== undefined)
+    $("t-hitrate").textContent = (last.cache_hit_rate * 100).toFixed(1) + "%";
+  if (last.backend) $("t-backend").textContent = last.backend + " backend";
+  if (last.families && !document.querySelector("#families table"))
+    onFamilies(Object.fromEntries(Object.entries(last.families).map(
+      ([name, f]) => [name, { completed: f.ok, failed: f.points - f.ok }])));
+  loadRecords();
+}
+
+function onTrends(d) {
+  $("t-gate").innerHTML = chip(d.status);
+  $("t-gate-runs").textContent = d.runs + " recorded run(s)";
+  loadTrends();
+}
+
+function onEvent(e) {
+  state.lastEventId = e.lastEventId || state.lastEventId;
+  $("foot").textContent = "last event id " + state.lastEventId;
+  const d = JSON.parse(e.data);
+  if (e.type === "queue") onQueue(d);
+  else if (e.type === "families") onFamilies(d);
+  else if (e.type === "store") onStore(d);
+  else if (e.type === "trends") onTrends(d);
+}
+
+function connect() {
+  const es = new EventSource("events");
+  for (const kind of ["queue", "families", "store", "trends"])
+    es.addEventListener(kind, onEvent);
+  es.onopen = () => { $("conn").classList.add("live"); $("conn-text").textContent = "live"; };
+  es.onerror = () => { $("conn").classList.remove("live"); $("conn-text").textContent = "reconnecting\\u2026"; };
+}
+
+let trendsEtag = null;
+function loadTrends() {
+  fetch("trends", { headers: trendsEtag ? { "If-None-Match": trendsEtag } : {} })
+    .then((r) => {
+      if (r.status === 304) return null;
+      trendsEtag = r.headers.get("ETag");
+      return r.json();
+    })
+    .then((payload) => {
+      if (!payload) return;
+      const ids = Object.keys(payload.series || {}).sort();
+      if (!ids.length) {
+        $("trends").innerHTML = '<p class="empty">Trend store is empty (nothing recorded yet).</p>';
+        return;
+      }
+      let html = "";
+      for (const id of ids) {
+        const s = payload.series[id];
+        const values = s.values || [];
+        html += '<div class="card"><div class="name" title="' + esc(id) + '">' + esc(id) +
+          '</div><div class="row"><span class="last">' + fmt(s.last) + '</span>' +
+          spark(values) + chip(s.status) + "</div></div>";
+      }
+      $("trends").innerHTML = html;
+    })
+    .catch(() => {});
+}
+
+function loadRecords() {
+  fetch("records?limit=12").then((r) => r.ok ? r.json() : null).then((payload) => {
+    if (!payload || !payload.records || !payload.records.length) return;
+    let html = "<table><thead><tr><th>family</th><th>params</th>" +
+               "<th class=num>duration</th><th>row</th></tr></thead><tbody>";
+    for (const rec of payload.records) {
+      html += "<tr><td>" + esc(rec.family) + "</td><td><code>" +
+        esc(JSON.stringify(rec.params)) + "</code></td><td class=num>" +
+        (rec.duration_s !== undefined ? rec.duration_s.toFixed(2) + "s" : "\\u2013") +
+        '</td><td><a href="results/' + esc(rec.key) + '">' +
+        esc(rec.key.slice(0, 12)) + "&hellip;</a></td></tr>";
+    }
+    $("records").innerHTML = html + "</tbody></table>";
+  }).catch(() => {});
+}
+
+function loadTraces() {
+  fetch("traces").then((r) => r.ok ? r.json() : null).then((payload) => {
+    if (!payload || !payload.traces || !payload.traces.length) return;
+    $("traces-links").innerHTML = payload.traces.map((t) =>
+      '<a href="traces/' + esc(t.name) + '" download>Perfetto: ' + esc(t.name) + "</a>"
+    ).join(" ");
+  }).catch(() => {});
+}
+
+connect();
+loadTrends();
+loadRecords();
+loadTraces();
+</script>
+</body>
+</html>
+"""
+
+#: Strong ETag of the page — the document is immutable per build.
+DASHBOARD_ETAG = (
+    '"' + hashlib.sha256(DASHBOARD_HTML.encode()).hexdigest()[:32] + '"'
+)

@@ -1,0 +1,409 @@
+"""Shared live-telemetry HTTP routes + the standalone dashboard server.
+
+:class:`LiveRoutesMixin` implements every route of the live plane over
+plain :class:`~http.server.BaseHTTPRequestHandler` machinery:
+
+===========================================  ==============================
+``GET /``, ``GET /dashboard``                the single-file HTML dashboard
+``GET /events``                              SSE stream (``Last-Event-ID``)
+``GET /trends``                              trend artifact, strong ETag
+``GET /records``                             store index (``limit/offset``)
+``GET /traces``, ``GET /traces/<name>``      Perfetto trace downloads
+``GET /metrics`` (format negotiation)        JSON snapshot or Prometheus
+``GET /healthz``                             liveness + store + uptime
+===========================================  ==============================
+
+The farm queue service (:mod:`repro.farm.queue.httpd`) mixes these
+routes into its handler next to the job/lease protocol; the read-only
+:class:`DashboardServer` below (``repro dashboard``) mounts them over
+just a result store + trend store, with the last-run snapshot standing
+in for live controller state.
+
+The host server provides the shared attributes the mixin reads:
+``publisher`` (or None), ``trend_store`` (or None), ``result_store``
+(or None), ``traces_dir`` (or None), and ``started_monotonic``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .dashboard import DASHBOARD_ETAG, DASHBOARD_HTML, HTML_CONTENT_TYPE
+from .exposition import OPENMETRICS_CONTENT_TYPE, render_exposition
+from .publisher import SSE_CONTENT_TYPE, TelemetryPublisher, serve_sse
+
+__all__ = [
+    "ApiError",
+    "DashboardServer",
+    "JSON_CONTENT_TYPE",
+    "LiveRoutesMixin",
+    "make_dashboard_server",
+]
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Trace file names we are willing to serve: plain names, no path parts.
+_TRACE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+class ApiError(Exception):
+    """An HTTP error response: status code + JSON ``error`` message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class LiveRoutesMixin:
+    """The live plane's routes, shared by both servers (see module doc)."""
+
+    # -- response plumbing ---------------------------------------------------
+
+    def _send_json(
+        self,
+        payload: dict,
+        status: int = 200,
+        headers: Optional[List[Tuple[str, str]]] = None,
+    ) -> None:
+        body = json.dumps(payload, indent=1).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", JSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers or []:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_empty(self, status: int) -> None:
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _etag_matches(self, etag: str) -> bool:
+        if_none_match = self.headers.get("If-None-Match", "")
+        candidates = [v.strip() for v in if_none_match.split(",")]
+        return etag in candidates or "*" in candidates
+
+    def _send_not_modified(self, etag: str) -> None:
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _send_body(
+        self,
+        body: bytes,
+        content_type: str,
+        etag: Optional[str] = None,
+        headers: Optional[List[Tuple[str, str]]] = None,
+    ) -> None:
+        """200 with an optional strong ETag; 304 when it revalidates."""
+        if etag is not None and self._etag_matches(etag):
+            self._send_not_modified(etag)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
+        for name, value in headers or []:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _query(self) -> dict:
+        return parse_qs(urlsplit(self.path).query)
+
+    def _query_float(self, query: dict, name: str) -> Optional[float]:
+        values = query.get(name)
+        if not values:
+            return None
+        try:
+            return float(values[0])
+        except ValueError:
+            raise ApiError(400, f"query parameter {name!r} must be a number")
+
+    # -- the routes ----------------------------------------------------------
+
+    def _get_dashboard(self) -> None:
+        self._send_body(
+            DASHBOARD_HTML.encode(), HTML_CONTENT_TYPE, etag=DASHBOARD_ETAG
+        )
+
+    def _wants_prometheus(self) -> bool:
+        """``?format=prometheus`` or an Accept header asking for text."""
+        query = self._query()
+        fmt = (query.get("format") or [None])[0]
+        if fmt is not None:
+            if fmt not in ("prometheus", "openmetrics", "json"):
+                raise ApiError(400, f"unknown metrics format {fmt!r}")
+            return fmt != "json"
+        accept = self.headers.get("Accept", "")
+        return "openmetrics-text" in accept or (
+            "text/plain" in accept and "application/json" not in accept
+        )
+
+    def _send_prometheus(self, source) -> None:
+        """Render a registry or snapshot dict as the exposition format."""
+        self._send_body(
+            render_exposition(source).encode(), OPENMETRICS_CONTENT_TYPE
+        )
+
+    def _get_events(self) -> None:
+        publisher: Optional[TelemetryPublisher] = self.server.publisher
+        if publisher is None:
+            raise ApiError(503, "no live publisher on this server")
+        query = self._query()
+        last_raw = self.headers.get("Last-Event-ID") or (
+            query.get("last_event_id") or [None]
+        )[0]
+        try:
+            last_id = int(last_raw) if last_raw is not None else None
+        except ValueError:
+            raise ApiError(400, "Last-Event-ID must be an integer")
+        max_events_f = self._query_float(query, "max_events")
+        self.send_response(200)
+        self.send_header("Content-Type", SSE_CONTENT_TYPE)
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        serve_sse(
+            self.wfile,
+            publisher,
+            last_event_id=last_id,
+            max_events=int(max_events_f) if max_events_f is not None else None,
+            idle_timeout_s=self._query_float(query, "idle_timeout"),
+        )
+
+    def _get_trends(self) -> None:
+        from ..trends.report import dashboard_payload, payload_etag
+
+        trend_store = self.server.trend_store
+        if trend_store is None:
+            payload = {"schema": 1, "runs": 0, "status": "ok", "series": {}}
+        else:
+            payload = dashboard_payload(trend_store)
+        etag = payload_etag(payload)
+        self._send_body(
+            json.dumps(payload, indent=1).encode(),
+            JSON_CONTENT_TYPE,
+            etag=etag,
+            headers=[("Cache-Control", "no-cache")],
+        )
+
+    def _get_records(self) -> None:
+        store = self.server.result_store
+        if store is None:
+            raise ApiError(404, "this server has no result store")
+        query = self._query()
+        limit_f = self._query_float(query, "limit")
+        offset_f = self._query_float(query, "offset")
+        limit = int(limit_f) if limit_f is not None else 50
+        offset = int(offset_f) if offset_f is not None else 0
+        if limit < 1 or offset < 0:
+            raise ApiError(400, "limit must be >= 1 and offset >= 0")
+        self._send_json(
+            {
+                "total": store.count(),
+                "offset": offset,
+                "records": store.index(limit=limit, offset=offset),
+            }
+        )
+
+    def _get_result(self, key: str) -> None:
+        store = self.server.result_store
+        record = store.get(key) if store is not None else None
+        if record is None:
+            raise ApiError(404, f"no result under key {key}")
+        # The key is the content identity: ETag == key, immutable.
+        self._send_body(
+            json.dumps(record, indent=1).encode(),
+            JSON_CONTENT_TYPE,
+            etag=f'"{key}"',
+            headers=[("Cache-Control", "max-age=31536000")],
+        )
+
+    def _traces_dir(self) -> Path:
+        traces_dir = self.server.traces_dir
+        if traces_dir is None:
+            raise ApiError(404, "this server has no traces directory")
+        return Path(traces_dir)
+
+    def _get_traces(self) -> None:
+        root = self._traces_dir()
+        traces = []
+        if root.is_dir():
+            for path in sorted(root.glob("*.json")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                traces.append({"name": path.name, "bytes": stat.st_size})
+        self._send_json({"traces": traces})
+
+    def _get_trace_file(self, name: str) -> None:
+        if not _TRACE_NAME.match(name):
+            raise ApiError(400, f"bad trace name {name!r}")
+        path = self._traces_dir() / name
+        try:
+            body = path.read_bytes()
+            stat = path.stat()
+        except OSError:
+            raise ApiError(404, f"no trace named {name!r}")
+        self._send_body(
+            body,
+            JSON_CONTENT_TYPE,
+            etag=f'"{stat.st_mtime_ns}-{stat.st_size}"',
+        )
+
+    def _healthz_extras(self) -> dict:
+        """Store record count + uptime — zero-cost on an empty store."""
+        store = self.server.result_store
+        return {
+            "store_records": store.count() if store is not None else 0,
+            "uptime_s": round(
+                time.monotonic() - self.server.started_monotonic, 3
+            ),
+        }
+
+
+class _DashboardHandler(LiveRoutesMixin, BaseHTTPRequestHandler):
+    """The standalone, read-only dashboard server's request handler."""
+
+    server_version = "repro-dashboard/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        try:
+            if path in ("/", "/dashboard"):
+                self._get_dashboard()
+            elif path == "/events":
+                self._get_events()
+            elif path == "/trends":
+                self._get_trends()
+            elif path == "/records":
+                self._get_records()
+            elif path == "/traces":
+                self._get_traces()
+            elif path == "/metrics":
+                self._get_metrics()
+            elif path == "/healthz":
+                self._get_healthz()
+            elif (m := re.fullmatch(r"/results/([0-9a-f]{8,64})", path)):
+                self._get_result(m.group(1))
+            elif (m := re.fullmatch(r"/traces/([^/]+)", path)):
+                self._get_trace_file(m.group(1))
+            else:
+                raise ApiError(404, f"no route for GET {path}")
+        except ApiError as exc:
+            self._send_json({"error": exc.message}, status=exc.status)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_json(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=500
+            )
+
+    # -- standalone-only routes ----------------------------------------------
+
+    def _last_run_metrics(self) -> dict:
+        store = self.server.result_store
+        last = (store.load_last_run() if store is not None else None) or {}
+        metrics = last.get("metrics")
+        return metrics if isinstance(metrics, dict) else {}
+
+    def _get_metrics(self) -> None:
+        """Metrics of the **last recorded farm run** (read-only server)."""
+        snapshot = self._last_run_metrics()
+        if self._wants_prometheus():
+            self._send_prometheus(snapshot)
+        else:
+            self._send_json({"source": "last-run", "snapshot": snapshot})
+
+    def _get_healthz(self) -> None:
+        store = self.server.result_store
+        last = (store.load_last_run() if store is not None else None) or {}
+        self._send_json(
+            {
+                "ok": True,
+                "mode": "dashboard",
+                "last_run_backend": last.get("backend"),
+                **self._healthz_extras(),
+            }
+        )
+
+
+class DashboardServer(ThreadingHTTPServer):
+    """Read-only telemetry server over a result store + trend store."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        result_store=None,
+        trend_store=None,
+        publisher: Optional[TelemetryPublisher] = None,
+        traces_dir=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        super().__init__((host, port), _DashboardHandler)
+        self.result_store = result_store
+        self.trend_store = trend_store
+        self.publisher = publisher
+        self.traces_dir = traces_dir
+        self.verbose = verbose
+        self.started_monotonic = time.monotonic()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+
+def make_dashboard_server(
+    result_store=None,
+    trend_store=None,
+    traces_dir=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    publisher: Optional[TelemetryPublisher] = None,
+) -> DashboardServer:
+    """Bind the standalone dashboard (``port=0`` picks a free port).
+
+    When no ``publisher`` is injected, one is built over the store and
+    trend store; the caller decides whether to ``start()`` its poll
+    thread (``repro dashboard`` does, tests poll by hand).
+    """
+    if publisher is None:
+        from .publisher import make_collector
+
+        publisher = TelemetryPublisher(
+            make_collector(store=result_store, trend_store=trend_store)
+        )
+    return DashboardServer(
+        result_store=result_store,
+        trend_store=trend_store,
+        publisher=publisher,
+        traces_dir=traces_dir,
+        host=host,
+        port=port,
+        verbose=verbose,
+    )

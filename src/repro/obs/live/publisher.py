@@ -1,0 +1,343 @@
+"""Polling publisher: queue/store/trend state diffed into SSE events.
+
+The :class:`TelemetryPublisher` owns a ``collect()`` callable that
+returns the current *state* as ``{section: payload_dict}`` (sections:
+``queue``, ``families``, ``store``, ``trends`` — whatever the attached
+collectors produce).  Each :meth:`poll` diffs the fresh state against
+the previous one and appends one :class:`LiveEvent` per **changed
+section**, carrying the section's *full* payload — events are
+state-replacing, never incremental, so delivery is idempotent and a
+late joiner only ever needs the newest event of each section.
+
+Sequence ids are monotonic from 1 and entirely deterministic: no wall
+clock enters event generation, so tests drive :meth:`poll` by hand and
+assert exact ids.  Resume contract (``Last-Event-ID``):
+
+- :meth:`events_since` replays everything after the given id from the
+  bounded ring buffer — no duplicates, no gaps — and reports whether
+  the buffer still reached back that far;
+- if it did not (the client slept through more than ``buffer_size``
+  events), :meth:`snapshot_events` re-emits every section's current
+  state under **fresh** ids, which by the state-replacing contract is
+  exactly equivalent to having seen the missed tail.
+
+:func:`serve_sse` is the one SSE writer both HTTP servers mount: replay
+or snapshot, then block on the publisher's condition for new events,
+emitting ``: keepalive`` comments while idle so dead clients surface as
+broken pipes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "LiveEvent",
+    "TelemetryPublisher",
+    "controller_state",
+    "format_sse",
+    "make_collector",
+    "serve_sse",
+    "store_state",
+    "trend_state",
+]
+
+#: SSE content type (the dashboard's ``EventSource`` requires it).
+SSE_CONTENT_TYPE = "text/event-stream; charset=utf-8"
+
+
+class LiveEvent(NamedTuple):
+    """One server-sent event: monotonic id, section name, full payload."""
+
+    seq: int
+    event: str
+    data: dict
+
+
+def format_sse(event: LiveEvent) -> str:
+    """The wire form of one event (``id:``/``event:``/``data:`` lines)."""
+    payload = json.dumps(event.data, sort_keys=True, separators=(",", ":"))
+    return f"id: {event.seq}\nevent: {event.event}\ndata: {payload}\n\n"
+
+
+class TelemetryPublisher:
+    """Diffs a collected state dict into a resumable event stream."""
+
+    def __init__(
+        self,
+        collect: Callable[[], Dict[str, dict]],
+        buffer_size: int = 4096,
+    ):
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        self._collect = collect
+        self._events: deque = deque(maxlen=buffer_size)
+        self._seq = 0
+        self._last: Dict[str, dict] = {}
+        self._cond = threading.Condition()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- producing -----------------------------------------------------------
+
+    def _emit(self, section: str, payload: dict) -> LiveEvent:
+        # caller holds self._cond
+        self._seq += 1
+        event = LiveEvent(self._seq, section, payload)
+        self._events.append(event)
+        return event
+
+    def poll(self) -> List[LiveEvent]:
+        """Collect, diff, append one event per changed section."""
+        state = self._collect()
+        new: List[LiveEvent] = []
+        with self._cond:
+            for section in sorted(state):
+                if state[section] != self._last.get(section):
+                    new.append(self._emit(section, state[section]))
+            self._last = dict(state)
+            if new:
+                self._cond.notify_all()
+        return new
+
+    def snapshot_events(self) -> List[LiveEvent]:
+        """Re-emit every section's current state under fresh ids.
+
+        The greeting for a client with no resumable position (first
+        connect, or a ``Last-Event-ID`` older than the buffer).  Other
+        connected clients also receive these events; they are exact
+        restatements of state those clients already hold, so the
+        replacing contract makes them no-ops there.
+        """
+        with self._cond:
+            events = [
+                self._emit(section, self._last[section])
+                for section in sorted(self._last)
+            ]
+            if events:
+                self._cond.notify_all()
+            return events
+
+    # -- consuming -----------------------------------------------------------
+
+    @property
+    def latest_seq(self) -> int:
+        with self._cond:
+            return self._seq
+
+    def events_since(self, last_id: int) -> Tuple[List[LiveEvent], bool]:
+        """(events with seq > last_id, whether the replay is gap-free).
+
+        ``False`` means the ring buffer no longer reaches back to
+        ``last_id`` — the caller should fall back to
+        :meth:`snapshot_events`.
+        """
+        with self._cond:
+            events = [e for e in self._events if e.seq > last_id]
+            if last_id >= self._seq:
+                return [], True
+            oldest_needed = last_id + 1
+            complete = bool(events) and events[0].seq == oldest_needed
+            return events, complete
+
+    def wait(self, last_id: int, timeout_s: float) -> List[LiveEvent]:
+        """Block until events newer than ``last_id`` exist (or timeout)."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._seq > last_id, timeout=timeout_s
+            )
+            return [e for e in self._events if e.seq > last_id]
+
+    # -- the poll thread -----------------------------------------------------
+
+    def start(self, interval_s: float = 1.0) -> None:
+        """Start the background poll loop (daemon thread, idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.poll()
+                except Exception:  # noqa: BLE001 - keep the plane up
+                    pass  # a failed probe must never kill the stream
+                self._stop.wait(interval_s)
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-live-publisher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        with self._cond:
+            self._cond.notify_all()
+
+
+# -- collectors ------------------------------------------------------------
+
+
+def controller_state(controller) -> Dict[str, dict]:
+    """``queue`` + ``families`` sections from a live QueueController."""
+    stats = controller.stats()
+    queue = {
+        "pending": stats["pending"],
+        "leased": stats["leased"],
+        "done": stats["done"],
+        "failed": stats["failed"],
+        "jobs": stats["jobs"],
+        "workers": len(stats["workers"]),
+    }
+    families: Dict[str, dict] = {}
+    for metric, field in (
+        ("farm.queue.completed", "completed"),
+        ("farm.queue.cached", "cached"),
+        ("farm.queue.failed", "failed"),
+        ("farm.queue.submitted", "submitted"),
+    ):
+        for key, inst in controller.registry.series(metric).items():
+            labels = dict(key)
+            family = labels.get("family")
+            if family is None:
+                continue
+            families.setdefault(family, {})[field] = inst.value
+    return {"queue": queue, "families": families}
+
+
+#: last-run.json keys mirrored into the ``store`` section.
+_LAST_RUN_FIELDS = (
+    "backend",
+    "points",
+    "cached",
+    "executed",
+    "failed",
+    "retried",
+    "cache_hit_rate",
+    "store_records",
+    "duration_s",
+    "git_sha",
+    "families",
+)
+
+
+def store_state(store) -> Dict[str, dict]:
+    """``store`` section: record count + the last-run snapshot digest."""
+    last = store.load_last_run() or {}
+    return {
+        "store": {
+            "records": store.count(),
+            "last_run": {k: last[k] for k in _LAST_RUN_FIELDS if k in last},
+        }
+    }
+
+
+def trend_state(trend_store, config=None) -> Dict[str, dict]:
+    """``trends`` section: the regression gate's current verdicts."""
+    from ..trends.report import json_report
+
+    report = json_report(trend_store, config)
+    return {
+        "trends": {
+            "status": report["status"],
+            "runs": report["runs"],
+            "series": {
+                series_id: info["status"]
+                for series_id, info in sorted(report["series"].items())
+            },
+        }
+    }
+
+
+def make_collector(
+    controller=None, store=None, trend_store=None, detector_config=None
+) -> Callable[[], Dict[str, dict]]:
+    """One ``collect()`` over whichever sources this server has.
+
+    ``repro serve`` passes all three; the standalone ``repro dashboard``
+    has no controller — its queue/family view comes from the last-run
+    snapshot in the ``store`` section instead.
+    """
+
+    def collect() -> Dict[str, dict]:
+        state: Dict[str, dict] = {}
+        if controller is not None:
+            state.update(controller_state(controller))
+        if store is not None:
+            state.update(store_state(store))
+        if trend_store is not None:
+            state.update(trend_state(trend_store, detector_config))
+        return state
+
+    return collect
+
+
+# -- the SSE writer --------------------------------------------------------
+
+
+def serve_sse(
+    wfile,
+    publisher: TelemetryPublisher,
+    last_event_id: Optional[int] = None,
+    heartbeat_s: float = 15.0,
+    max_events: Optional[int] = None,
+    idle_timeout_s: Optional[float] = None,
+) -> int:
+    """Stream events to one client until it disconnects; returns count.
+
+    - no ``last_event_id`` → greet with a full state snapshot;
+    - a resumable id → gap-free replay of exactly the missed events;
+    - an id older than the buffer → snapshot (state-replacing events
+      make that equivalent to the lost tail).
+
+    ``max_events``/``idle_timeout_s`` end the stream early — the hooks
+    the tests and the smoke script use to get a finite response.
+    """
+    sent = 0
+
+    def write(chunk: str) -> bool:
+        try:
+            wfile.write(chunk.encode("utf-8"))
+            wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
+
+    if not write("retry: 2000\n\n"):
+        return sent
+    if last_event_id is None:
+        events = publisher.snapshot_events()
+    else:
+        events, complete = publisher.events_since(last_event_id)
+        if not complete:
+            events = publisher.snapshot_events()
+    cursor = last_event_id or 0
+    idle_s = 0.0
+    while True:
+        for event in events:
+            if not write(format_sse(event)):
+                return sent
+            sent += 1
+            cursor = max(cursor, event.seq)
+            if max_events is not None and sent >= max_events:
+                return sent
+        if events:
+            idle_s = 0.0
+        wait_s = heartbeat_s
+        if idle_timeout_s is not None:
+            wait_s = min(wait_s, idle_timeout_s - idle_s)
+            if wait_s <= 0:
+                return sent
+        t0 = time.monotonic()
+        events = publisher.wait(cursor, timeout_s=wait_s)
+        if not events:
+            idle_s += time.monotonic() - t0
+            if not write(": keepalive\n\n"):
+                return sent

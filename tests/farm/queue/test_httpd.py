@@ -195,3 +195,96 @@ def test_two_http_workers_split_the_job(service):
     health = client.health()
     assert health["stats"]["done"] == 6
     assert sorted(health["stats"]["workers_seen"]) == ["w0", "w1"]
+
+
+# -- the live telemetry plane on the queue service ---------------------------
+
+
+def _raw_get(url, headers=None):
+    req = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def test_metrics_format_negotiation_serves_prometheus_text(service):
+    from repro.obs.live.exposition import parse_exposition
+
+    server, client = service
+    client.submit(**SELFTEST)
+    QueueWorker(client, "w1", ttl_s=10.0, executor=_inline).run(drain=True)
+
+    status, headers, body = _raw_get(f"{server.url}/metrics?format=prometheus")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/openmetrics-text")
+    families = parse_exposition(body.decode())
+    completed = families["farm_queue_completed"]
+    assert completed["type"] == "counter"
+    assert ("farm_queue_completed_total", {"family": "selftest"}, 2.0) in completed[
+        "samples"
+    ]
+    # the default stays the JSON shape the client library reads
+    status, headers, _ = _raw_get(f"{server.url}/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/json")
+
+
+def test_healthz_includes_store_records_and_uptime(service):
+    server, client = service
+    status, _, body = _raw_get(f"{server.url}/healthz")
+    payload = json.loads(body)
+    assert status == 200 and payload["ok"]
+    assert payload["store_records"] == 0 and payload["uptime_s"] >= 0
+
+    client.submit(**SELFTEST)
+    QueueWorker(client, "w1", ttl_s=10.0, executor=_inline).run(drain=True)
+    _, _, body = _raw_get(f"{server.url}/healthz")
+    assert json.loads(body)["store_records"] == 2
+
+
+def test_serve_mounts_dashboard_and_records(service):
+    server, client = service
+    status, headers, body = _raw_get(f"{server.url}/dashboard")
+    assert status == 200 and headers["Content-Type"].startswith("text/html")
+    assert b"EventSource" in body
+
+    client.submit(**SELFTEST)
+    QueueWorker(client, "w1", ttl_s=10.0, executor=_inline).run(drain=True)
+    status, _, body = _raw_get(f"{server.url}/records")
+    payload = json.loads(body)
+    assert status == 200 and payload["total"] == 2
+    assert all(e["family"] == "selftest" for e in payload["records"])
+
+
+def test_events_stream_reflects_queue_depth_changes(service):
+    server, client = service
+    server.publisher.poll()
+    _, headers, body = _raw_get(f"{server.url}/events?max_events=2")
+    assert headers["Content-Type"].startswith("text/event-stream")
+    blocks = body.decode()
+    assert '"pending":0' in blocks
+    last_id = max(
+        int(line.split(": ", 1)[1])
+        for line in blocks.splitlines()
+        if line.startswith("id: ")
+    )
+
+    client.submit(**SELFTEST)  # queue depth changes while disconnected
+    new = server.publisher.poll()
+    assert any(e.data.get("pending") == 2 for e in new if e.event == "queue")
+    missed = server.publisher.latest_seq - last_id
+    _, _, body = _raw_get(
+        f"{server.url}/events?max_events={missed}",
+        headers={"Last-Event-ID": str(last_id)},
+    )
+    resumed = body.decode()
+    assert '"pending":2' in resumed
+    ids = [
+        int(line.split(": ", 1)[1])
+        for line in resumed.splitlines()
+        if line.startswith("id: ")
+    ]
+    # gap-free resume: exactly the missed tail, no duplicates, no skips
+    assert ids == list(range(last_id + 1, last_id + missed + 1))

@@ -1,0 +1,234 @@
+"""The live telemetry plane over real HTTP: both servers, every route.
+
+One threaded server per test on an ephemeral port.  SSE is exercised
+with finite responses (``?max_events`` / ``?idle_timeout``) so a plain
+``urllib`` GET terminates; resume semantics are asserted across two
+sequential connections, exactly how an ``EventSource`` reconnects.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.farm.store import ResultStore
+from repro.obs.live.dashboard import DASHBOARD_ETAG
+from repro.obs.live.exposition import parse_exposition
+from repro.obs.live.httpd import make_dashboard_server
+from repro.obs.trends.store import RunMeta, Sample, TrendStore
+
+
+def _get(url, headers=None):
+    req = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _sse_ids(body: bytes):
+    return [
+        int(line.split(": ", 1)[1])
+        for line in body.decode().splitlines()
+        if line.startswith("id: ")
+    ]
+
+
+@pytest.fixture
+def stores(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put("ab12" * 16, {"family": "fig8a", "params": {"g": 1}, "row": {"x": 1}})
+    store.save_last_run(
+        {
+            "backend": "pool",
+            "points": 1,
+            "cached": 0,
+            "store_records": 1,
+            "metrics": {
+                "farm.points.total": {"kind": "gauge", "series": {"{}": 1}}
+            },
+        }
+    )
+    trends = TrendStore(tmp_path / "trend")
+    trends.append_run(
+        RunMeta(run_id="r1", source="farm"),
+        [Sample(series="farm.duration_ms/fig8a", value=12.0)],
+    )
+    return store, trends
+
+
+@pytest.fixture
+def dash(stores, tmp_path):
+    store, trends = stores
+    traces = tmp_path / "traces"
+    traces.mkdir()
+    (traces / "fig8.json").write_text('{"traceEvents": []}')
+    server = make_dashboard_server(
+        result_store=store, trend_store=trends, traces_dir=traces
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.publisher.stop()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def test_dashboard_page_serves_html_with_etag_revalidation(dash):
+    status, headers, body = _get(dash.url + "/")
+    assert status == 200
+    assert headers["Content-Type"] == "text/html; charset=utf-8"
+    assert headers["ETag"] == DASHBOARD_ETAG
+    assert b"<!doctype html>" in body.lower() and b"EventSource" in body
+    status, _, body = _get(
+        dash.url + "/dashboard", {"If-None-Match": DASHBOARD_ETAG}
+    )
+    assert status == 304 and body == b""
+
+
+def test_healthz_reports_store_records_and_uptime(dash):
+    status, headers, body = _get(dash.url + "/healthz")
+    payload = json.loads(body)
+    assert status == 200
+    assert headers["Content-Type"] == "application/json; charset=utf-8"
+    assert payload["ok"] and payload["store_records"] == 1
+    assert payload["uptime_s"] >= 0
+    assert payload["last_run_backend"] == "pool"
+
+
+def test_metrics_negotiates_json_and_prometheus(dash):
+    status, headers, body = _get(dash.url + "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/json")
+    assert json.loads(body)["snapshot"]["farm.points.total"]["kind"] == "gauge"
+
+    status, headers, body = _get(dash.url + "/metrics?format=prometheus")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/openmetrics-text")
+    families = parse_exposition(body.decode())
+    assert families["farm_points_total"]["type"] == "gauge"
+    assert families["farm_points_total"]["samples"][0][2] == 1.0
+
+    status, _, _ = _get(dash.url + "/metrics?format=bogus")
+    assert status == 400
+
+
+def test_metrics_negotiates_via_accept_header(dash):
+    _, headers, body = _get(
+        dash.url + "/metrics", {"Accept": "application/openmetrics-text"}
+    )
+    assert headers["Content-Type"].startswith("application/openmetrics-text")
+    parse_exposition(body.decode())  # must be a legal document
+
+
+def test_trends_artifact_revalidates_with_etag(dash):
+    status, headers, body = _get(dash.url + "/trends")
+    payload = json.loads(body)
+    assert status == 200 and payload["schema"] == 1 and payload["runs"] == 1
+    series = payload["series"]["farm.duration_ms/fig8a"]
+    assert series["values"] == [12.0]
+    etag = headers["ETag"]
+    status, _, body = _get(dash.url + "/trends", {"If-None-Match": etag})
+    assert status == 304 and body == b""
+
+
+def test_records_index_and_result_fetch(dash):
+    status, _, body = _get(dash.url + "/records?limit=5")
+    payload = json.loads(body)
+    assert status == 200 and payload["total"] == 1
+    (entry,) = payload["records"]
+    assert entry["family"] == "fig8a" and "row" not in entry
+
+    status, headers, body = _get(dash.url + "/results/" + entry["key"])
+    assert status == 200 and json.loads(body)["row"] == {"x": 1}
+    status, _, _ = _get(
+        dash.url + "/results/" + entry["key"],
+        {"If-None-Match": headers["ETag"]},
+    )
+    assert status == 304
+
+    status, _, _ = _get(dash.url + "/records?limit=0")
+    assert status == 400
+
+
+def test_traces_listing_and_download(dash):
+    status, _, body = _get(dash.url + "/traces")
+    assert status == 200
+    assert json.loads(body)["traces"] == [
+        {"name": "fig8.json", "bytes": 19}
+    ]
+    status, _, body = _get(dash.url + "/traces/fig8.json")
+    assert status == 200 and json.loads(body) == {"traceEvents": []}
+    status, _, _ = _get(dash.url + "/traces/no-such.json")
+    assert status == 404
+    status, _, _ = _get(dash.url + "/traces/..%2Fsecret")
+    assert status == 400
+
+
+def test_events_stream_snapshot_then_resume(dash):
+    dash.publisher.poll()
+    _, headers, body = _get(dash.url + "/events?max_events=2")
+    assert headers["Content-Type"] == "text/event-stream; charset=utf-8"
+    assert "retry: 2000" in body.decode()
+    first = _sse_ids(body)
+    assert len(first) == 2
+
+    # Reconnect with Last-Event-ID: nothing new yet -> idle timeout, no
+    # duplicates of what we already saw.
+    _, _, body = _get(
+        dash.url + "/events?idle_timeout=0.1",
+        {"Last-Event-ID": str(max(first))},
+    )
+    assert _sse_ids(body) == []
+
+    # State changes while "disconnected"; the next resume sees only it.
+    dash.result_store.put("cd34" * 16, {"family": "fig8b", "row": {}})
+    dash.publisher.poll()
+    _, _, body = _get(
+        dash.url + "/events?max_events=1",
+        {"Last-Event-ID": str(max(first))},
+    )
+    resumed = _sse_ids(body)
+    assert resumed and min(resumed) > max(first)  # no skip, no dup
+
+
+def test_events_reject_bad_last_event_id(dash):
+    status, _, _ = _get(
+        dash.url + "/events?max_events=1", {"Last-Event-ID": "not-a-number"}
+    )
+    assert status == 400
+
+
+def test_unknown_route_is_json_404(dash):
+    status, headers, body = _get(dash.url + "/nope")
+    assert status == 404
+    assert headers["Content-Type"].startswith("application/json")
+    assert "error" in json.loads(body)
+
+
+def test_dashboard_without_stores_serves_empty_state(tmp_path):
+    server = make_dashboard_server()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200 and json.loads(body)["store_records"] == 0
+        status, _, body = _get(server.url + "/trends")
+        assert status == 200 and json.loads(body)["series"] == {}
+        status, _, _ = _get(server.url + "/records")
+        assert status == 404
+        status, _, _ = _get(server.url + "/traces")
+        assert status == 404
+        status, _, body = _get(server.url + "/metrics?format=prometheus")
+        assert status == 200 and body.decode().rstrip().endswith("# EOF")
+    finally:
+        server.publisher.stop()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
