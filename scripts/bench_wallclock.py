@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import multiprocessing as mp
 import platform
 import resource
 import sys
@@ -49,6 +50,7 @@ from repro.apps.synthetic import (  # noqa: E402
 )
 from repro.bcs import BcsConfig, BcsRuntime  # noqa: E402
 from repro.harness.runner import run_workload  # noqa: E402
+from repro.harness.scaling import gc_counters, tune_gc  # noqa: E402
 from repro.network import Cluster, ClusterSpec  # noqa: E402
 from repro.obs.trends.calibrate import Calibration  # noqa: E402
 from repro.storm import JobSpec  # noqa: E402
@@ -70,10 +72,14 @@ SCALING_MIN_SPEEDUP = 10.0
 #: ``barrier_micro`` is the dense regime the batched slice engine must
 #: not lose (the batched DEM/MSM holds plus descriptor pooling have to
 #: at least pay for themselves); ``scaling_4096`` is the ISSUE-7 regime
-#: where the full optimized stack must beat the reference stack >= 30x.
+#: where the full optimized stack must beat the reference stack >= 30x;
+#: ``scaling_16384`` is the ISSUE-10 regime — aggregated strobe + arena
+#: node state on a 16k-node machine, where per-destination strobe
+#: fan-out and eager node construction would otherwise dominate.
 BENCH_MIN_SPEEDUP = {
     "barrier_micro": 1.0,
     "scaling_4096": 30.0,
+    "scaling_16384": 30.0,
 }
 
 
@@ -142,6 +148,15 @@ def benchmarks(quick: bool):
             dict(init_cost=0),
             4096,
         ),
+        (
+            "scaling_16384",
+            "scaling",
+            nearest_neighbor_benchmark,
+            8,
+            dict(iterations=4 if quick else 8, granularity=ms(100)),
+            dict(init_cost=0),
+            16384,
+        ),
     ]
 
 
@@ -152,6 +167,7 @@ def _slow_config(**cfg_kwargs) -> BcsConfig:
         matcher="linear",
         incremental_active_sets=False,
         batched_matching=False,
+        aggregated_strobe=False,
         **cfg_kwargs,
     )
 
@@ -192,62 +208,148 @@ def run_case(app, n_ranks, params, cfg_kwargs, reps: int):
 class _ScalingResult:
     """RunResult-shaped view over a large-N run (runtime_ns + stats)."""
 
-    def __init__(self, job, runtime):
-        self.runtime_ns = job.runtime
-        self.stats = dict(runtime.stats)
+    def __init__(self, runtime_ns, stats):
+        self.runtime_ns = runtime_ns
+        self.stats = dict(stats)
+
+
+_CTX = mp.get_context("spawn")
+
+
+def _scaling_leg(conn, app, n_ranks, params, cfg_kwargs, n_nodes, reps, fast):
+    """Child-process entry: one scaling leg in an isolated interpreter.
+
+    ``ru_maxrss`` is a cumulative high-water mark, so the only way to
+    attribute a peak RSS to one configuration is to give each leg its
+    own process.  The optimized leg also gets the lazy node directory
+    (flyweight nodes are part of what it is measuring); the reference
+    leg builds the cluster eagerly like the pre-arena engine did.
+    """
+    cfg_fn = BcsConfig if fast else _slow_config
+    # Warm the interpreter on a toy cluster, then freeze the warm graph
+    # so the timed region pays for its own garbage only.
+    warm_spec = JobSpec(
+        app=app, n_ranks=2, name="warm", params={**params, "iterations": 2}
+    )
+    BcsRuntime(
+        Cluster(ClusterSpec(n_nodes=8, lazy_nodes=fast)), cfg_fn(**cfg_kwargs)
+    ).run_job(warm_spec, max_time=seconds(3600))
+    tune_gc()
+    best = math.inf
+    result = None
+    gc_delta = 0
+    for _ in range(reps):
+        cluster = Cluster(ClusterSpec(n_nodes=n_nodes, lazy_nodes=fast))
+        runtime = BcsRuntime(cluster, cfg_fn(**cfg_kwargs))
+        spec = JobSpec(app=app, n_ranks=n_ranks, name="bench", params=params)
+        gc0, _ = gc_counters()
+        t0 = time.perf_counter()
+        job = runtime.run_job(spec, max_time=seconds(3600))
+        best = min(best, time.perf_counter() - t0)
+        gc_delta = max(gc_delta, gc_counters()[0] - gc0)
+        result = _ScalingResult(job.runtime, runtime.stats)
+    conn.send(
+        (
+            best,
+            result.runtime_ns,
+            result.stats,
+            _peak_rss_mib(),
+            gc_delta,
+            gc_counters()[1],
+        )
+    )
+    conn.close()
+
+
+def _run_leg(app, n_ranks, params, cfg_kwargs, n_nodes, reps, fast):
+    recv, send = _CTX.Pipe(duplex=False)
+    proc = _CTX.Process(
+        target=_scaling_leg,
+        args=(send, app, n_ranks, params, cfg_kwargs, n_nodes, reps, fast),
+    )
+    proc.start()
+    send.close()
+    payload = recv.recv()
+    proc.join()
+    recv.close()
+    return payload
 
 
 def run_scaling_case(app, n_ranks, params, cfg_kwargs, n_nodes, reps: int):
     """Like :func:`run_case` on an ``n_nodes`` cluster, timing only the
     slice machine (cluster construction is O(nodes) on both sides and
-    not what the gate measures)."""
+    not what the gate measures).
 
-    def one(cfg):
-        cluster = Cluster(ClusterSpec(n_nodes=n_nodes))
-        runtime = BcsRuntime(cluster, cfg)
-        spec = JobSpec(app=app, n_ranks=n_ranks, name="bench", params=params)
-        t0 = time.perf_counter()
-        job = runtime.run_job(spec, max_time=seconds(3600))
-        return time.perf_counter() - t0, _ScalingResult(job, runtime)
-
-    fast_cfg = BcsConfig(**cfg_kwargs)
-    slow_cfg = _slow_config(**cfg_kwargs)
-    best_fast = best_slow = math.inf
-    fast = slow = None
-    for _ in range(reps):
-        wall, fast = one(fast_cfg)
-        best_fast = min(best_fast, wall)
-        wall, slow = one(slow_cfg)
-        best_slow = min(best_slow, wall)
-    return best_fast, best_slow, fast, slow
+    Each leg runs best-of-``reps`` inside its own spawned child so the
+    peak-RSS and GC counters describe that configuration alone; timing
+    happens inside the child, so spawn overhead is never measured.
+    Returns ``(best_fast, best_slow, fast, slow, extras)`` where
+    ``extras`` carries the optimized leg's memory/GC measurements.
+    """
+    wall_f, ns_f, stats_f, rss_f, gcd_f, gco_f = _run_leg(
+        app, n_ranks, params, cfg_kwargs, n_nodes, reps, True
+    )
+    wall_s, ns_s, stats_s, _, _, _ = _run_leg(
+        app, n_ranks, params, cfg_kwargs, n_nodes, reps, False
+    )
+    extras = {
+        "peak_rss_mib": rss_f,
+        "gc_collections": gcd_f,
+        "gc_objects": gco_f,
+    }
+    return (
+        wall_f,
+        wall_s,
+        _ScalingResult(ns_f, stats_f),
+        _ScalingResult(ns_s, stats_s),
+        extras,
+    )
 
 
 def run_suite(quick: bool) -> dict:
     calibration = Calibration()
+    # Warm the engine once, then freeze the long-lived interpreter graph:
+    # every in-process measurement after this pays for its own garbage
+    # only, not collector passes over modules and the warm engine.
+    run_workload(
+        barrier_benchmark, 4, "bcs", params=dict(iterations=2, granularity=ms(1))
+    )
+    tune_gc()
     reps, matrix = benchmarks(quick)
     raw = {}
     for name, kind, app, n_ranks, params, cfg_kwargs, n_nodes in matrix:
         if kind == "scaling":
-            wall_fast, wall_slow, fast, slow = run_scaling_case(
+            wall_fast, wall_slow, fast, slow, extras = run_scaling_case(
                 app, n_ranks, params, cfg_kwargs, n_nodes, reps
             )
         else:
+            gc0, _ = gc_counters()
             wall_fast, wall_slow, fast, slow = run_case(
                 app, n_ranks, params, cfg_kwargs, reps
             )
+            gc1, gc_objects = gc_counters()
+            # In-process cases inherit the cumulative high-water mark;
+            # growth between consecutive benchmarks is still the signal
+            # the trend series watches.  Scaling cases measure theirs in
+            # an isolated child (see run_scaling_case).
+            extras = {
+                "peak_rss_mib": _peak_rss_mib(),
+                "gc_collections": gc1 - gc0,
+                "gc_objects": gc_objects,
+            }
         calibration.sample()
         if fast.runtime_ns != slow.runtime_ns:
             raise SystemExit(
                 f"{name}: virtual time diverged — optimized {fast.runtime_ns} ns "
                 f"vs reference {slow.runtime_ns} ns"
             )
-        rss_mib = _peak_rss_mib()
-        raw[name] = (kind, wall_fast, wall_slow, fast, rss_mib)
+        raw[name] = (kind, wall_fast, wall_slow, fast, extras)
         print(
             f"{name:16s} [{kind}]  optimized {wall_fast:7.3f}s  "
             f"reference {wall_slow:7.3f}s  speedup {wall_slow / wall_fast:5.2f}x  "
             f"skipped {fast.stats.get('idle_slices_skipped', 0)}  "
-            f"rss {rss_mib:6.1f}MiB"
+            f"rss {extras['peak_rss_mib']:6.1f}MiB  "
+            f"gc {extras['gc_collections']}"
         )
     out = {
         "schema": SCHEMA,
@@ -256,7 +358,7 @@ def run_suite(quick: bool) -> dict:
         "python": platform.python_version(),
         "benchmarks": {},
     }
-    for name, (kind, wall_fast, wall_slow, fast, rss_mib) in raw.items():
+    for name, (kind, wall_fast, wall_slow, fast, extras) in raw.items():
         out["benchmarks"][name] = {
             "kind": kind,
             "wall_s": round(wall_fast, 4),
@@ -265,7 +367,9 @@ def run_suite(quick: bool) -> dict:
             "normalized": round(wall_fast / calibration.best, 3),
             "virtual_ns": fast.runtime_ns,
             "idle_slices_skipped": fast.stats.get("idle_slices_skipped", 0),
-            "peak_rss_mib": round(rss_mib, 1),
+            "peak_rss_mib": round(extras["peak_rss_mib"], 1),
+            "gc_collections": extras["gc_collections"],
+            "gc_objects": extras["gc_objects"],
         }
     return out
 

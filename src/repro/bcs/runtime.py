@@ -24,7 +24,7 @@ from ..storm.job import Job, JobSpec, block_placement
 from .config import BcsConfig
 from .descriptors import DescriptorPools
 from .matching import MatcherTotals
-from .node_manager import NodeManager
+from .node_manager import NodeArena, NodeManager
 from .scheduler import SliceScheduler
 from .strobe import StrobeReceiver, StrobeSender
 from .threads import (
@@ -162,6 +162,134 @@ class NodeAgents:
         self.nm = NodeManager(nrt)
 
 
+class NodeTable:
+    """Lazy list-like table of :class:`NodeRuntime` flyweights.
+
+    Used in aggregated-strobe mode: indexing materializes the node's
+    runtime on first access, so only nodes that host ranks or receive
+    traffic ever exist as Python objects.  Iteration materializes every
+    node — full-scan oracles and whole-machine sweeps stay correct (a
+    just-materialized idle node contributes exactly what an eagerly
+    built idle node would: nothing).  Materialization creates no
+    simulation events, so it can never perturb virtual time.
+    """
+
+    __slots__ = ("_runtime", "_slots", "_count")
+
+    def __init__(self, runtime: "BcsRuntime", n_nodes: int):
+        self._runtime = runtime
+        self._slots: List[Optional[NodeRuntime]] = [None] * n_nodes
+        self._count = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __getitem__(self, node_id: int) -> NodeRuntime:
+        nrt = self._slots[node_id]
+        if nrt is None:
+            nrt = self._slots[node_id] = NodeRuntime(self._runtime, node_id)
+            self._count += 1
+        return nrt
+
+    def __iter__(self):
+        for i in range(len(self._slots)):
+            yield self[i]
+
+    def materialized(self):
+        """Existing node runtimes in id order (no materialization)."""
+        for nrt in self._slots:
+            if nrt is not None:
+                yield nrt
+
+    @property
+    def materialized_count(self) -> int:
+        """How many node runtimes exist as Python objects right now."""
+        return self._count
+
+    def __repr__(self) -> str:
+        return f"<NodeTable {self._count}/{len(self._slots)} materialized>"
+
+
+def existing_node_runtimes(node_runtimes):
+    """Materialized-only view of a runtime's node table.
+
+    Whole-machine consumers that only care about nodes *with state*
+    (telemetry binding, job purges, state snapshots, stall diagnostics)
+    iterate this instead of the table itself, so they never force a 64k
+    lazy table to materialize.  On an eager list it is the identity.
+    """
+    if isinstance(node_runtimes, NodeTable):
+        return node_runtimes.materialized()
+    return node_runtimes
+
+
+class _LazyNodeMap:
+    """Dict-like lazy map of per-node companions (agents/receivers).
+
+    ``map[node_id]`` materializes on first access via the subclass
+    factory; the view methods (``values``/``items``/``keys``/``len``)
+    cover only materialized entries, which is exactly the population an
+    eager dict would show for the nodes that ever did anything.
+    """
+
+    __slots__ = ("_runtime", "_entries")
+
+    def __init__(self, runtime: "BcsRuntime"):
+        self._runtime = runtime
+        self._entries: Dict[int, object] = {}
+
+    def _make(self, node_id: int):
+        raise NotImplementedError
+
+    def __getitem__(self, node_id: int):
+        entry = self._entries.get(node_id)
+        if entry is None:
+            entry = self._entries[node_id] = self._make(node_id)
+        return entry
+
+    def get(self, node_id: int, default=None):
+        return self._entries.get(node_id, default)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(sorted(self._entries))
+
+    def keys(self):
+        return sorted(self._entries)
+
+    def values(self):
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def items(self):
+        return [(k, self._entries[k]) for k in sorted(self._entries)]
+
+
+class _AgentMap(_LazyNodeMap):
+    """Lazy ``node_id -> NodeAgents``."""
+
+    def _make(self, node_id: int):
+        return NodeAgents(self._runtime.node_runtimes[node_id])
+
+
+class _ReceiverMap(_LazyNodeMap):
+    """Lazy ``node_id -> StrobeReceiver``.
+
+    Materializing an entry spawns the receiver's simulation process, so
+    hot paths never index this map for a node that might not exist yet:
+    :meth:`BcsRuntime.launch` materializes every node a job touches
+    up front (a fresh receiver's init event is inert — it blocks on an
+    empty inbox — so launch-time creation is virtual-time neutral).
+    """
+
+    def _make(self, node_id: int):
+        return StrobeReceiver(self._runtime.node_runtimes[node_id])
+
+
 class RankHandle:
     """Runtime-side state of one application process (one rank)."""
 
@@ -210,6 +338,9 @@ class BcsRuntime:
 
         #: Answer per-slice queries from incremental sets (config flag).
         self._incremental = self.config.incremental_active_sets
+        #: Aggregated strobe + lazy arena node representation (config
+        #: flag); False selects the eager per-destination oracle path.
+        self._aggregated = self.config.aggregated_strobe
         #: Free-list pools for descriptors/requests (the batched slice
         #: engine's allocation leg; recycling only happens with
         #: ``config.batched_matching`` — acquire falls through to plain
@@ -232,15 +363,30 @@ class BcsRuntime:
         #: O(nodes) begin_slice loop).
         self.slice_start_time = 0
 
-        self.node_runtimes: List[NodeRuntime] = [
-            NodeRuntime(self, node.id) for node in cluster.compute_nodes
-        ]
-        self.agents: Dict[int, NodeAgents] = {
-            nrt.node_id: NodeAgents(nrt) for nrt in self.node_runtimes
-        }
-        self.receivers: Dict[int, StrobeReceiver] = {
-            nrt.node_id: StrobeReceiver(nrt) for nrt in self.node_runtimes
-        }
+        #: SoA arena for per-node scalars; the ``mphase_done`` counters
+        #: are array-backed GAS slots, so the oracle path's per-node
+        #: ``gas.write`` and the aggregated path's batched increment
+        #: update identical storage.
+        self.arena = NodeArena(len(cluster.nodes))
+        self.core.gas.register_array("mphase_done", self.arena.mphase_done)
+
+        n_compute = cluster.n_compute_nodes
+        if self._aggregated:
+            # Flyweight node machinery: materialized per node on first
+            # touch (launch() pre-materializes a job's nodes).
+            self.node_runtimes = NodeTable(self, n_compute)
+            self.agents = _AgentMap(self)
+            self.receivers = _ReceiverMap(self)
+        else:
+            self.node_runtimes: List[NodeRuntime] = [
+                NodeRuntime(self, node.id) for node in cluster.compute_nodes
+            ]
+            self.agents: Dict[int, NodeAgents] = {
+                nrt.node_id: NodeAgents(nrt) for nrt in self.node_runtimes
+            }
+            self.receivers: Dict[int, StrobeReceiver] = {
+                nrt.node_id: StrobeReceiver(nrt) for nrt in self.node_runtimes
+            }
         self.ss = StrobeSender(self)
 
         self.jobs: Dict[int, Job] = {}
@@ -335,9 +481,21 @@ class BcsRuntime:
         self.jobs[job.id] = job
         self.job_stats[job.id] = Counter()
         self.register_comm(job, range(spec.n_ranks))  # comm 0 = world
+        self.arena.activate(job.nodes)
         self.active_node_ids = sorted(
             set(self.active_node_ids) | set(job.nodes)
         )
+        if self._aggregated:
+            # Materialize the per-node machinery (NodeRuntime + Strobe
+            # Receiver) for every node the job touches, in ascending id
+            # order, *before* the strobe loop and the rank processes
+            # start.  A fresh receiver's init event is inert — it blocks
+            # on an empty inbox, exactly like an eagerly built receiver
+            # that has been idle — so launch-time materialization keeps
+            # the event sequence, and therefore virtual time, identical
+            # to the eager oracle.
+            for node_id in job.nodes:
+                self.receivers[node_id]
         self.stopped = False
         self.ss.start()
 
@@ -465,7 +623,10 @@ class BcsRuntime:
         def keep(desc) -> bool:
             return desc.job_id != job_id
 
-        for nrt in self.node_runtimes:
+        # Only materialized nodes can hold job state (descriptors are
+        # posted and delivered through node runtimes), so the purge
+        # never needs to force a lazy table.
+        for nrt in existing_node_runtimes(self.node_runtimes):
             nrt.posted_sends = [d for d in nrt.posted_sends if keep(d)]
             nrt.posted_recvs = [d for d in nrt.posted_recvs if keep(d)]
             nrt.posted_colls = [d for d in nrt.posted_colls if keep(d)]
@@ -728,7 +889,10 @@ class BcsRuntime:
         identical snapshots at identical slices.
         """
         per_node = {}
-        for nrt in self.node_runtimes:
+        # Materialized-only: a node with no Python object by definition
+        # has no in-flight state, and all-zero entries are filtered out
+        # below anyway — the snapshot is byte-identical to a full scan.
+        for nrt in existing_node_runtimes(self.node_runtimes):
             unexpected, posted = nrt.matcher.pending_counts
             entry = {
                 "posted_sends": len(nrt.posted_sends),

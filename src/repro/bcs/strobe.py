@@ -55,6 +55,7 @@ class StrobeReceiver:
 
     def _run(self):
         nrt = self.nrt
+        aggregated = nrt.config.aggregated_strobe
         agents = nrt.runtime.agents[nrt.node_id]
         handlers = {
             DEM: lambda s: self._dem(agents),
@@ -72,10 +73,14 @@ class StrobeReceiver:
             yield from handlers[strobe.phase](strobe)
             self.completed_phases += 1
             # Report completion in global memory; the SS's
-            # Compare-And-Write tests this counter.
-            nrt.runtime.core.gas.write(
-                nrt.node_id, "mphase_done", self.completed_phases
-            )
+            # Compare-And-Write tests this counter.  In aggregated mode
+            # the SS performs one batched arena increment for the whole
+            # participant set instead of this per-node write — the
+            # array-backed slot ends up with the identical value.
+            if not aggregated:
+                nrt.runtime.core.gas.write(
+                    nrt.node_id, "mphase_done", self.completed_phases
+                )
             obs = nrt.runtime.obs
             if obs is not None:
                 obs.node_phase(
@@ -105,6 +110,14 @@ class StrobeSender:
         self._strobe = Strobe("", 0, None, self._latch)
         self._pad = ReusableTimeout(self.env)
         self._sleep = ReusableTimeout(self.env)
+        # Aggregated strobe model (``config.aggregated_strobe``): the
+        # microstrobe is one tree-shaped multicast event whose duration
+        # is cached per active-set size, charged through a reusable
+        # timeout — no per-strobe generator, no per-destination walk.
+        self._aggregated = runtime.config.aggregated_strobe
+        self._strobe_timeout = ReusableTimeout(self.env)
+        self._strobe_n = -1
+        self._strobe_latency = 0
         #: "bcs.microphase" tracing, sampled once per strobe-loop launch
         #: (trace categories are fixed at cluster construction); gates
         #: the per-microphase trace emit and the named-latch allocation.
@@ -249,12 +262,26 @@ class StrobeSender:
         # Microstrobe: Xfer-And-Signal to every compute node's SR.  The
         # active-node list is kept sorted and deduplicated by the
         # runtime, so its length is passed straight through.
-        yield from runtime.cluster.fabric.control_multicast(
-            mgmt,
-            runtime.active_node_ids,
-            runtime.config.strobe_bytes,
-            n_dests=len(runtime.active_node_ids),
-        )
+        if self._aggregated:
+            # One aggregated tree multicast: identical duration to the
+            # oracle's control_multicast (both are strobe_latency(n)),
+            # but the duration is cached until the active set changes
+            # size and the timeout object is re-armed in place.
+            n_active = len(runtime.active_node_ids)
+            if n_active:
+                if n_active != self._strobe_n:
+                    self._strobe_n = n_active
+                    self._strobe_latency = runtime.cluster.fabric.strobe_latency(
+                        runtime.config.strobe_bytes, n_active
+                    )
+                yield self._strobe_timeout.rearm(self._strobe_latency)
+        else:
+            yield from runtime.cluster.fabric.control_multicast(
+                mgmt,
+                runtime.active_node_ids,
+                runtime.config.strobe_bytes,
+                n_dests=len(runtime.active_node_ids),
+            )
 
         if nodes:
             # One latch shared by all participants: the SS resumes when
@@ -276,6 +303,13 @@ class StrobeSender:
             for node_id in nodes:
                 runtime.receivers[node_id].inbox.put(strobe)
             yield done
+            if self._aggregated:
+                # Batched completion report: every participant finished
+                # exactly one microphase, so one arena-wide increment
+                # replaces the per-node ``gas.write`` loop the receivers
+                # perform on the oracle path (same counters, same values
+                # at the Compare-And-Write below).
+                runtime.core.gas.increment_batch(nodes, "mphase_done")
             # SS verifies global completion with a Compare-And-Write on
             # the per-node microphase counters.
             yield from runtime.core.compare_and_write(

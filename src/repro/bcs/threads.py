@@ -127,6 +127,18 @@ class NodeRuntime:
         self.nic = self.node.nic
         self.config: BcsConfig = runtime.config
         self.env = runtime.env
+        # Lazily materialized nodes (aggregated-strobe mode) can be
+        # created after observability was attached; inherit the hub and
+        # register this node's trace tracks so the fresh NIC reports
+        # occupancy spans like its eager peers.  (During eager
+        # construction the runtime has no ``obs`` yet — binding covers
+        # those nodes.)
+        obs = getattr(runtime, "obs", None)
+        if obs is not None:
+            self.nic.obs = obs
+            node_track = getattr(obs, "node_track", None)
+            if node_track is not None:
+                node_track(node_id)
 
         #: Pulsed by the Strobe Sender at every slice boundary; the Node
         #: Manager uses it to restart processes whose ops completed.

@@ -44,8 +44,12 @@ def diagnose(runtime: "BcsRuntime") -> str:
             state = f"blocked on {name}"
         lines.append(f"job {job_id} rank {rank}: {state}")
 
-    # Unmatched traffic per node.
-    for nrt in runtime.node_runtimes:
+    # Unmatched traffic per node.  Only materialized nodes can hold
+    # state worth reporting; never-touched flyweight slots have no
+    # matcher and therefore nothing unmatched.
+    from ..bcs.runtime import existing_node_runtimes
+
+    for nrt in existing_node_runtimes(runtime.node_runtimes):
         for send in nrt.matcher.unexpected:
             lines.append(
                 f"node {nrt.node_id}: send {send.src_rank}->{send.dst_rank} "

@@ -306,6 +306,28 @@ def _expand_scaling16k(
     ]
 
 
+def _expand_scaling64k(
+    node_counts: Sequence[int] = (2048, 8192, 16384, 65536),
+    networks: Sequence[str] = S.SCALING_NETWORKS,
+    active_ranks: int = 32,
+    iterations: int = 30,
+    granularity_us: float = 400.0,
+    message_kib: int = 4,
+) -> List[dict]:
+    return [
+        dict(
+            network=m,
+            n_nodes=n,
+            active_ranks=active_ranks,
+            iterations=iterations,
+            granularity_us=granularity_us,
+            message_kib=message_kib,
+        )
+        for m in networks
+        for n in node_counts
+    ]
+
+
 # --- critical-path analysis family (blame composition per run) ---------------
 
 
@@ -377,7 +399,7 @@ EXTENSION_FAMILIES: Tuple[str, ...] = ("ext_ft", "ext_pfs_qos", "ext_noise")
 #: fields (slices/sec, speedup), so they are deliberately outside the
 #: deterministic figure set and never part of ``repro farm figures``
 #: defaults; run them by name (``repro farm figures scaling1024``).
-SCALING_FAMILIES: Tuple[str, ...] = ("scaling1024", "scaling16k")
+SCALING_FAMILIES: Tuple[str, ...] = ("scaling1024", "scaling16k", "scaling64k")
 
 #: Analysis families: deterministic derived metrics over instrumented
 #: runs (critical-path blame composition).  Not in the default figure
@@ -499,6 +521,19 @@ FAMILIES: Dict[str, Family] = {
             _expand_scaling16k,
             S.scaling16k_point,
             smoke=dict(node_counts=(2048,), iterations=12),
+        ),
+        Family(
+            "scaling64k",
+            "Scaling: aggregated strobe + arena state, 2k-64k nodes",
+            _expand_scaling64k,
+            S.scaling64k_point,
+            smoke=dict(node_counts=(4096,), iterations=12),
+            trend_columns=(
+                "speedup",
+                "slices_per_sec",
+                "peak_rss_mib",
+                "gc_collections",
+            ),
         ),
         Family(
             "critpath",

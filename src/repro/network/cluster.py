@@ -5,6 +5,14 @@ testbed: ``n_nodes`` compute nodes (dual-CPU by default) plus one
 management node, all on one interconnect.  The management node is always
 the *last* index (``cluster.management_node``), mirroring the paper's
 separate Dell 2550; compute ranks use indices ``0..n_nodes-1``.
+
+With ``ClusterSpec.lazy_nodes`` (the default) the per-node ``Node``/
+``Nic`` objects are flyweights materialized on first access: a 64k-node
+machine where one small job runs only ever builds the node objects the
+job touches.  Construction of a ``Node`` creates no simulation events,
+so lazy and eager assembly are observationally identical — the eager
+path (``lazy_nodes=False``) is kept as the footprint oracle for the
+scaling studies.
 """
 
 from __future__ import annotations
@@ -28,6 +36,9 @@ class ClusterSpec:
     #: Per-operation NIC thread cost, ns (0 disables the cost model).
     nic_thread_op_cost: int = 200
     seed: int = 0
+    #: Materialize Node/Nic objects on first access instead of eagerly
+    #: at construction (pure footprint optimization; see module doc).
+    lazy_nodes: bool = True
 
     def __post_init__(self):
         if self.n_nodes < 1:
@@ -70,6 +81,71 @@ class Node:
         return f"<Node {self.id} cpus={self.cpu.capacity}>"
 
 
+class NodeDirectory:
+    """Lazy sequence of a cluster's nodes (flyweight materialization).
+
+    Indexing materializes the node (and its NIC) on first access;
+    iteration and slicing materialize everything they touch, so code
+    that genuinely walks the whole machine (diagnostics, full-scan
+    oracles, fault-tolerance sweeps) still sees every node.
+    """
+
+    __slots__ = ("_cluster", "_slots", "_materialized")
+
+    def __init__(self, cluster: "Cluster", total: int):
+        self._cluster = cluster
+        self._slots: List[Optional[Node]] = [None] * total
+        self._materialized = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self._slots)))]
+        if index < 0:
+            index += len(self._slots)
+        node = self._slots[index]
+        if node is None:
+            node = self._slots[index] = self._cluster._make_node(index)
+            self._materialized += 1
+        return node
+
+    def __iter__(self):
+        for i in range(len(self._slots)):
+            yield self[i]
+
+    @property
+    def materialized_count(self) -> int:
+        """How many nodes exist as Python objects right now."""
+        return self._materialized
+
+    def __repr__(self) -> str:
+        return (
+            f"<NodeDirectory {self._materialized}/{len(self._slots)} "
+            "materialized>"
+        )
+
+
+class _NicView:
+    """The fabric's view of the node directory: NICs by node id."""
+
+    __slots__ = ("_nodes",)
+
+    def __init__(self, nodes):
+        self._nodes = nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __getitem__(self, index) -> Nic:
+        return self._nodes[index].nic
+
+    def __iter__(self):
+        for node in self._nodes:
+            yield node.nic
+
+
 class Cluster:
     """A simulated cluster: engine + nodes + fabric + RNG + trace."""
 
@@ -80,17 +156,19 @@ class Cluster:
         self.rng = RngRegistry(self.spec.seed)
 
         total = self.spec.n_nodes + 1  # + management node
-        self.nodes: List[Node] = []
-        nics = []
-        for node_id in range(total):
-            nic = Nic(
-                self.env, node_id, thread_op_cost=self.spec.nic_thread_op_cost
-            )
-            nics.append(nic)
-            self.nodes.append(
-                Node(self.env, node_id, self.spec.cpus_per_node, nic)
-            )
+        if self.spec.lazy_nodes:
+            self.nodes = NodeDirectory(self, total)
+            nics = _NicView(self.nodes)
+        else:
+            self.nodes = [self._make_node(node_id) for node_id in range(total)]
+            nics = [node.nic for node in self.nodes]
         self.fabric = Fabric(self.env, self.spec.model, nics, trace=self.trace)
+
+    def _make_node(self, node_id: int) -> Node:
+        nic = Nic(
+            self.env, node_id, thread_op_cost=self.spec.nic_thread_op_cost
+        )
+        return Node(self.env, node_id, self.spec.cpus_per_node, nic)
 
     @property
     def n_compute_nodes(self) -> int:
@@ -104,7 +182,7 @@ class Cluster:
 
     @property
     def compute_nodes(self) -> List[Node]:
-        """All compute nodes, in id order."""
+        """All compute nodes, in id order (materializes every node)."""
         return self.nodes[: self.spec.n_nodes]
 
     def node(self, node_id: int) -> Node:

@@ -40,7 +40,11 @@ class Fabric:
     ):
         self.env = env
         self.model = model
-        self.nics = list(nics)
+        # Kept as whatever sequence the cluster hands over: a plain list
+        # (eager assembly) or a lazy NIC view over the node directory —
+        # only len() and indexing are used, so flyweight NICs stay
+        # unmaterialized until a transfer actually touches them.
+        self.nics = nics
         self.tree = build_topology(
             model.topology, len(self.nics), radix=model.radix
         )
@@ -128,14 +132,29 @@ class Fabric:
         Callers that already know it (the Strobe Sender keeps a sorted,
         deduplicated active-node list) pass ``n_dests`` so the five
         microstrobes per slice don't rebuild a set each time.
+
+        This generator is the aggregated strobe model's *oracle* path
+        (``BcsConfig.aggregated_strobe=False``); the aggregated path
+        charges the identical duration via :meth:`strobe_latency` with a
+        reusable timeout, skipping the generator machinery per strobe.
         """
         n = len(set(dests)) if n_dests is None else n_dests
         if n == 0:
             return
-        yield self.env.timeout(
+        yield self.env.timeout(self.strobe_latency(size, n))
+
+    def strobe_latency(self, size: int, n_dests: int) -> int:
+        """Duration (ns) of one control multicast to ``n_dests`` nodes.
+
+        Pure arithmetic — DMA startup + serialization at the multicast
+        bandwidth + the tree-shaped :meth:`NetworkModel.multicast_latency`
+        — so the Strobe Sender can cache it per active-set size and
+        charge a single aggregated timeout per microphase.
+        """
+        return (
             self.model.dma_startup
             + bw_time(size + self.model.header_bytes, self.model.mcast_bandwidth)
-            + self.model.mcast_latency(n)
+            + self.model.multicast_latency(n_dests)
         )
 
     def multicast(
@@ -148,7 +167,7 @@ class Fabric:
         at :attr:`NetworkModel.mcast_bandwidth`.  Without it, a software
         binomial tree is emulated via the same per-destination bandwidth
         plus log2(n) store-and-forward latencies (captured in
-        :meth:`NetworkModel.mcast_latency`).
+        :meth:`NetworkModel.multicast_latency`).
 
         Completes when the last destination has received the payload.
         """
@@ -189,7 +208,7 @@ class Fabric:
                     src_nic.tx.release()
                     for d in held_rx:
                         nics[d].rx.release()
-                yield self.env.timeout(model.mcast_latency(len(dest_list)))
+                yield self.env.timeout(model.multicast_latency(len(dest_list)))
                 if self.trace is not None:
                     self.trace.emit(
                         self.env.now,
@@ -212,7 +231,7 @@ class Fabric:
             src_nic.tx.release()
             for d in held_rx:
                 nics[d].rx.release()
-        yield self.env.timeout(model.mcast_latency(len(dest_list)))
+        yield self.env.timeout(model.multicast_latency(len(dest_list)))
         if self.trace is not None:
             self.trace.emit(
                 self.env.now,

@@ -75,11 +75,13 @@ class NetworkModel:
             self.cw_log_latency * math.log2(n_nodes)
         )
 
-    def mcast_latency(self, n_nodes: int) -> int:
+    def multicast_latency(self, n_nodes: int) -> int:
         """Latency (ns) for a multicast to reach all of ``n_nodes``.
 
         Hardware multicast pays tree depth in per-hop latencies; emulated
         multicast pays a software store-and-forward stage per tree level.
+        This is the single tree-shaped cost the aggregated strobe model
+        charges per microphase, whatever the destination count.
         """
         if n_nodes <= 1:
             return self.base_latency
@@ -89,6 +91,9 @@ class NetworkModel:
         # Software binomial tree: one full message latency per level.
         levels = math.ceil(math.log2(n_nodes))
         return levels * (self.base_latency + 2 * self.per_hop_latency)
+
+    #: Backward-compatible alias (pre-rename spelling).
+    mcast_latency = multicast_latency
 
 
 def qsnet() -> NetworkModel:

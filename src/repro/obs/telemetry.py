@@ -95,11 +95,16 @@ class Observability:
 
     def bind(self, runtime: "BcsRuntime") -> None:
         """Attach to a runtime: name tracks, hook scheduler and NICs."""
+        from ..bcs.runtime import existing_node_runtimes
+
         self.runtime = runtime
         self.timeslice = runtime.config.timeslice
         self.mgmt_pid = runtime.cluster.management_node.id
         runtime.scheduler.obs = self
-        for nrt in runtime.node_runtimes:
+        # Materialized nodes get the hub here; lazily materialized ones
+        # (aggregated-strobe mode) inherit it at construction from
+        # ``runtime.obs`` — binding never forces a 64k table into being.
+        for nrt in existing_node_runtimes(runtime.node_runtimes):
             nrt.nic.obs = self
         if self.spans is not None:
             self.spans.attach(runtime, self.perfetto)
@@ -108,12 +113,23 @@ class Observability:
                 self.mgmt_pid, "slice machine (mgmt)", sort_index=-1
             )
             self.perfetto.thread_name(self.mgmt_pid, TID_MICROPHASES, "microphases")
-            for nrt in runtime.node_runtimes:
-                self.perfetto.process_name(nrt.node_id, f"node {nrt.node_id}")
-                self.perfetto.thread_name(
-                    nrt.node_id, TID_MICROPHASES, "microphases (SR)"
-                )
-                self.perfetto.thread_name(nrt.node_id, TID_NIC, "NIC threads")
+            for nrt in existing_node_runtimes(runtime.node_runtimes):
+                self.node_track(nrt.node_id)
+
+    def node_track(self, node_id: int) -> None:
+        """Register one node's Perfetto tracks.
+
+        Called from :meth:`bind` for already-materialized nodes and from
+        ``NodeRuntime`` construction for nodes materialized later (the
+        aggregated-strobe lazy path), so every node that ever does
+        anything gets named tracks regardless of when it came into being.
+        """
+        if self.perfetto is not None:
+            self.perfetto.process_name(node_id, f"node {node_id}")
+            self.perfetto.thread_name(
+                node_id, TID_MICROPHASES, "microphases (SR)"
+            )
+            self.perfetto.thread_name(node_id, TID_NIC, "NIC threads")
 
     # -- slice lifecycle (called by the Strobe Sender) ------------------------------
 

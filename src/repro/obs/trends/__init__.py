@@ -25,11 +25,19 @@ no trend store is configured.
 """
 
 from .calibrate import Calibration, spin_calibration
-from .detect import DetectorConfig, RegressionDetector, Verdict, mad, median
+from .detect import (
+    DEFAULT_OVERRIDES,
+    DetectorConfig,
+    RegressionDetector,
+    Verdict,
+    mad,
+    median,
+)
 from .store import RunMeta, Sample, TrendStore, default_trend_path
 
 __all__ = [
     "Calibration",
+    "DEFAULT_OVERRIDES",
     "DetectorConfig",
     "RegressionDetector",
     "RunMeta",

@@ -23,7 +23,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .detect import DetectorConfig, RegressionDetector
+from .detect import DEFAULT_OVERRIDES, DetectorConfig, RegressionDetector
 from .record import record_bench_report, record_farm_summary
 from .report import json_report, render_chart, render_report, render_verdicts
 from .store import TrendStore, default_trend_path
@@ -111,16 +111,19 @@ def _store_from(args) -> TrendStore:
 
 
 def _config_from(args) -> DetectorConfig:
-    overrides = {}
+    # Built-in overrides first; a user --thresholds file can re-tune
+    # any pattern (same-key entries replace the defaults wholesale).
+    overrides = {k: dict(v) for k, v in DEFAULT_OVERRIDES.items()}
     if getattr(args, "thresholds", None):
         try:
-            overrides = json.loads(Path(args.thresholds).read_text())
+            loaded = json.loads(Path(args.thresholds).read_text())
         except (OSError, ValueError) as exc:
             raise SystemExit(f"repro trend: cannot read {args.thresholds}: {exc}")
-        if not isinstance(overrides, dict):
+        if not isinstance(loaded, dict):
             raise SystemExit(
                 f"repro trend: {args.thresholds} must hold a JSON object"
             )
+        overrides.update(loaded)
     return DetectorConfig(
         window=args.window,
         warmup=args.warmup,

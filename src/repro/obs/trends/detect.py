@@ -36,7 +36,23 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from .store import TrendStore
 
-__all__ = ["DetectorConfig", "RegressionDetector", "Verdict", "mad", "median"]
+__all__ = [
+    "DEFAULT_OVERRIDES",
+    "DetectorConfig",
+    "RegressionDetector",
+    "Verdict",
+    "mad",
+    "median",
+]
+
+#: Built-in per-family threshold overrides, merged under any user
+#: ``--thresholds`` file by the CLI.  The scaling benchmarks' peak RSS
+#: is the gate keeping 16k-64k clusters affordable: a footprint that
+#: balloons 25% is a real leak of per-node state, not host noise, so it
+#: gates far tighter than the generic timing tolerance.
+DEFAULT_OVERRIDES: Mapping[str, Mapping[str, float]] = {
+    "bench.rss/scaling_*": {"warn_pct": 0.10, "regress_pct": 0.25},
+}
 
 #: Conversion from MAD to a sigma estimate for normal-ish noise.
 _MAD_SIGMA = 1.4826

@@ -258,6 +258,31 @@ def bench_samples(report: Mapping[str, object]) -> List[Sample]:
                     kind="timing",
                 )
             )
+        if "gc_collections" in rec:
+            # Collector activity inside the timed region.  Usually zero
+            # after the harness's warm-up freeze; creeping upward means
+            # the hot path started allocating cyclic garbage again.
+            samples.append(
+                Sample(
+                    series=f"bench.gc/{name}.collections",
+                    value=float(rec["gc_collections"]),
+                    raw=float(rec["gc_collections"]),
+                    unit="collections",
+                    kind="timing",
+                )
+            )
+        if "gc_objects" in rec:
+            # Live tracked-object population after the benchmark — the
+            # flat-footprint signal the arena node state holds down.
+            samples.append(
+                Sample(
+                    series=f"bench.gc/{name}.objects",
+                    value=float(rec["gc_objects"]),
+                    raw=float(rec["gc_objects"]),
+                    unit="objects",
+                    kind="timing",
+                )
+            )
     return samples
 
 
